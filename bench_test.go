@@ -1,0 +1,415 @@
+package microtools
+
+// One benchmark per paper table/figure (deliverable (d)): each regenerates
+// its experiment through the full MicroCreator -> MicroLauncher -> simulator
+// stack in Quick mode and reports the figure's headline values as custom
+// metrics, so `go test -bench . -benchmem` reproduces the whole evaluation.
+// The Ablation* benchmarks quantify the design choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"microtools/internal/analytic"
+	"microtools/internal/asm"
+	"microtools/internal/cpu"
+	"microtools/internal/experiments"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/sim"
+	"microtools/internal/stats"
+)
+
+// runExperiment executes one registered experiment per benchmark iteration
+// and returns the last table.
+func runExperiment(b *testing.B, id string) *stats.Table {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *stats.Table
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run(experiments.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func reportAt(b *testing.B, tab *stats.Table, series string, x float64, metric string) {
+	b.Helper()
+	s := tab.Get(series)
+	if s == nil {
+		b.Fatalf("missing series %q", series)
+	}
+	v, err := s.YAt(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, metric)
+}
+
+// BenchmarkFig03MatmulSizeSweep regenerates Fig. 3 (matmul cycles/iteration
+// vs matrix size) and reports the plateau and the post-knee cost.
+func BenchmarkFig03MatmulSizeSweep(b *testing.B) {
+	tab := runExperiment(b, "fig03")
+	s := tab.Series[0]
+	b.ReportMetric(s.MinY(), "plateau-cyc/iter")
+	b.ReportMetric(s.Points[len(s.Points)-1].Y, "post-knee-cyc/iter")
+}
+
+// BenchmarkFig04MatmulAlignment regenerates Fig. 4 and reports the relative
+// spread across alignment configurations (paper: <3%).
+func BenchmarkFig04MatmulAlignment(b *testing.B) {
+	tab := runExperiment(b, "fig04")
+	s := tab.Series[0]
+	b.ReportMetric(100*(s.MaxY()-s.MinY())/s.MinY(), "spread-%")
+}
+
+// BenchmarkFig05MatmulUnroll regenerates Fig. 5 and reports the unroll gain
+// of the real kernel and of its generated microbenchmark equivalent.
+func BenchmarkFig05MatmulUnroll(b *testing.B) {
+	tab := runExperiment(b, "fig05")
+	for _, name := range []string{"actual code", "microbenchmark"} {
+		s := tab.Get(name)
+		y1, _ := s.YAt(1)
+		y8, _ := s.YAt(8)
+		metric := "actual-gain-%"
+		if name == "microbenchmark" {
+			metric = "micro-gain-%"
+		}
+		b.ReportMetric(100*(y1-y8)/y1, metric)
+	}
+}
+
+// BenchmarkFig11MovapsUnroll regenerates Fig. 11 (510-variant family).
+func BenchmarkFig11MovapsUnroll(b *testing.B) {
+	tab := runExperiment(b, "fig11")
+	reportAt(b, tab, "L1", 8, "L1-cyc/inst")
+	reportAt(b, tab, "RAM", 8, "RAM-cyc/inst")
+}
+
+// BenchmarkFig12MovssUnroll regenerates Fig. 12.
+func BenchmarkFig12MovssUnroll(b *testing.B) {
+	tab := runExperiment(b, "fig12")
+	reportAt(b, tab, "L1", 8, "L1-cyc/inst")
+	reportAt(b, tab, "RAM", 8, "RAM-cyc/inst")
+}
+
+// BenchmarkFig13FrequencySweep regenerates Fig. 13 and reports the
+// core-clock sensitivity of L1 vs RAM in TSC cycles.
+func BenchmarkFig13FrequencySweep(b *testing.B) {
+	tab := runExperiment(b, "fig13")
+	for _, name := range []string{"L1", "RAM"} {
+		s := tab.Get(name)
+		lo := s.Points[0].Y
+		hi := s.Points[len(s.Points)-1].Y
+		b.ReportMetric(lo/hi, name+"-slowdown-x")
+	}
+}
+
+// BenchmarkFig14ForkSaturation regenerates Fig. 14 and reports the
+// saturation factor (12-core vs 1-core cycles/iteration).
+func BenchmarkFig14ForkSaturation(b *testing.B) {
+	tab := runExperiment(b, "fig14")
+	s := tab.Get("movaps")
+	one, _ := s.YAt(1)
+	twelve, _ := s.YAt(12)
+	b.ReportMetric(twelve/one, "saturation-x")
+}
+
+// BenchmarkFig15Alignment8Core regenerates Fig. 15 and reports the
+// cycles/iteration band across alignment configurations.
+func BenchmarkFig15Alignment8Core(b *testing.B) {
+	tab := runExperiment(b, "fig15")
+	s := tab.Series[0]
+	b.ReportMetric(s.MinY(), "min-cyc/iter")
+	b.ReportMetric(s.MaxY(), "max-cyc/iter")
+}
+
+// BenchmarkFig16Alignment32Core regenerates Fig. 16.
+func BenchmarkFig16Alignment32Core(b *testing.B) {
+	tab := runExperiment(b, "fig16")
+	s := tab.Series[0]
+	b.ReportMetric(s.MinY(), "min-cyc/iter")
+	b.ReportMetric(s.MaxY(), "max-cyc/iter")
+}
+
+// BenchmarkFig17OpenMP128k regenerates Fig. 17 and reports the OpenMP gain
+// on the cache-resident array.
+func BenchmarkFig17OpenMP128k(b *testing.B) {
+	tab := runExperiment(b, "fig17")
+	s, _ := tab.Get("sequential").YAt(8)
+	o, _ := tab.Get("openmp").YAt(8)
+	b.ReportMetric(s/o, "omp-gain-x")
+}
+
+// BenchmarkFig18OpenMP6M regenerates Fig. 18 (RAM-resident array).
+func BenchmarkFig18OpenMP6M(b *testing.B) {
+	tab := runExperiment(b, "fig18")
+	s, _ := tab.Get("sequential").YAt(8)
+	o, _ := tab.Get("openmp").YAt(8)
+	b.ReportMetric(s/o, "omp-gain-x")
+}
+
+// BenchmarkTab02OpenMPWallclock regenerates Table 2 and reports the
+// seconds-scale entries' structure: sequential u1 vs u8, and OpenMP u1.
+func BenchmarkTab02OpenMPWallclock(b *testing.B) {
+	tab := runExperiment(b, "tab02")
+	s1, _ := tab.Get("sequential (s)").YAt(1)
+	s8, _ := tab.Get("sequential (s)").YAt(8)
+	o1, _ := tab.Get("openmp (s)").YAt(1)
+	b.ReportMetric(s1, "seq-u1-s")
+	b.ReportMetric(s8, "seq-u8-s")
+	b.ReportMetric(o1, "omp-u1-s")
+}
+
+// BenchmarkStabilityProtocol regenerates the §4.7 stability study and
+// reports the run-to-run CV with and without the launcher's protocol.
+func BenchmarkStabilityProtocol(b *testing.B) {
+	tab := runExperiment(b, "stability")
+	b.ReportMetric(tab.Get("full protocol").Points[0].Y, "protocol-CV-%")
+	b.ReportMetric(tab.Get("noise, naive").Points[0].Y, "naive-CV-%")
+}
+
+// ---- ablations -------------------------------------------------------------
+
+func buildLoadKernel(b *testing.B, u int) *isa.Program {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString(".L0:\n")
+	for c := 0; c < u; c++ {
+		fmt.Fprintf(&sb, "movaps %d(%%rsi), %%xmm%d\n", 16*c, c%8)
+	}
+	fmt.Fprintf(&sb, "add $%d, %%rsi\n", 16*u)
+	sb.WriteString("add $1, %eax\n")
+	fmt.Fprintf(&sb, "sub $%d, %%rdi\n", 4*u)
+	sb.WriteString("jge .L0\nret\n")
+	p, err := asm.ParseOne(sb.String(), fmt.Sprintf("bench_u%d", u))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkAblationAnalyticVsEventDriven compares the fast analytic
+// steady-state model against the event-driven core on an L1-resident
+// kernel: it reports both estimates and the analytic model's speedup.
+func BenchmarkAblationAnalyticVsEventDriven(b *testing.B) {
+	arch := isa.Nehalem()
+	prog := buildLoadKernel(b, 8)
+	mem := fixedLatencyMem{lat: 4}
+
+	iters := int64(2000)
+	var eventCyc float64
+	for i := 0; i < b.N; i++ {
+		var rf isa.RegFile
+		rf.Set(isa.RDI, uint64(32*iters-1))
+		rf.Set(isa.RSI, 0x100000)
+		core := cpu.NewCore(0, arch, mem)
+		if err := core.Reset(prog, &rf, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Step(math.MaxInt64); err != nil {
+			b.Fatal(err)
+		}
+		eventCyc = float64(core.Result().Cycles) / float64(iters)
+	}
+	est, err := analytic.EstimateLoop(prog, arch, analytic.L1(arch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(eventCyc, "event-cyc/iter")
+	b.ReportMetric(est.CyclesPerIter, "analytic-cyc/iter")
+	b.ReportMetric(est.CyclesPerIter/eventCyc, "ratio")
+}
+
+type fixedLatencyMem struct{ lat int64 }
+
+func (m fixedLatencyMem) Load(_ int, _ uint64, _ int, issue int64) int64 {
+	return issue + m.lat
+}
+func (m fixedLatencyMem) Store(_ int, _ uint64, _ int, issue int64) int64 {
+	return issue + 1
+}
+
+// launchOnMachine measures a kernel on an explicitly configured machine.
+func launchOnMachine(b *testing.B, desc *machine.Machine, prog *isa.Program, arrayBytes int64) float64 {
+	b.Helper()
+	mach, err := sim.New(desc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := launcher.DefaultOptions()
+	opts.MachineName = desc.Name
+	opts.ArrayBytes = arrayBytes
+	opts.InnerReps = 1
+	opts.OuterReps = 1
+	opts.MaxInstructions = 60_000
+	m, err := launcher.LaunchOn(mach, prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m.Value
+}
+
+// BenchmarkAblationPrefetcher measures the next-line prefetcher's effect on
+// a latency-bound sequential stream (one outstanding access at a time, the
+// worst case the prefetcher exists for). A many-MSHR unrolled stream is
+// bandwidth-bound either way — that architectural fact is itself part of
+// the result, so both regimes are reported.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	base, err := machine.ByName("nehalem-dual/8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := base.Hierarchy.L3.Size * 2
+	serialized := func(pf bool) float64 {
+		desc := *base
+		desc.Hierarchy.NextLinePrefetch = pf
+		sys, err := desc.NewSystem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycle := int64(1)
+		n := int64(0)
+		for off := int64(0); off < size; off += 64 {
+			cycle = sys.Load(0, uint64(0x1000000+off), 8, cycle)
+			n++
+		}
+		return float64(cycle) / float64(n)
+	}
+	overlapped := func(pf bool) float64 {
+		desc := *base
+		desc.Hierarchy.NextLinePrefetch = pf
+		return launchOnMachine(b, &desc, buildLoadKernel(b, 8), size)
+	}
+	var serOn, serOff, ovlOn, ovlOff float64
+	for i := 0; i < b.N; i++ {
+		serOn, serOff = serialized(true), serialized(false)
+		ovlOn, ovlOff = overlapped(true), overlapped(false)
+	}
+	b.ReportMetric(serOff/serOn, "latency-bound-speedup-x")
+	b.ReportMetric(ovlOff/ovlOn, "bw-bound-speedup-x")
+	b.ReportMetric(serOn, "serialized-pf-cyc/line")
+	b.ReportMetric(serOff, "serialized-nopf-cyc/line")
+}
+
+// BenchmarkAblationRegisterRotation quantifies §3.1's claim that rotating
+// XMM registers "reduces register dependency": an unrolled read-modify
+// multiply chain on one register vs rotated registers.
+func BenchmarkAblationRegisterRotation(b *testing.B) {
+	build := func(rotate bool) *isa.Program {
+		var sb strings.Builder
+		sb.WriteString(".L0:\n")
+		for c := 0; c < 8; c++ {
+			reg := 2
+			if rotate {
+				reg = 2 + c%6
+			}
+			fmt.Fprintf(&sb, "mulsd %d(%%rsi), %%xmm%d\n", 8*c, reg)
+		}
+		sb.WriteString("add $64, %rsi\nadd $1, %eax\nsub $8, %rdi\njge .L0\nret\n")
+		p, err := asm.ParseOne(sb.String(), "rot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	arch := isa.Nehalem()
+	run := func(p *isa.Program) float64 {
+		var rf isa.RegFile
+		rf.Set(isa.RDI, 8*2000-1)
+		rf.Set(isa.RSI, 0x100000)
+		core := cpu.NewCore(0, arch, fixedLatencyMem{lat: 4})
+		if err := core.Reset(p, &rf, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Step(math.MaxInt64); err != nil {
+			b.Fatal(err)
+		}
+		return float64(core.Result().Cycles) / 2000
+	}
+	var fixed, rotated float64
+	for i := 0; i < b.N; i++ {
+		fixed = run(build(false))
+		rotated = run(build(true))
+	}
+	b.ReportMetric(fixed, "fixed-reg-cyc/iter")
+	b.ReportMetric(rotated, "rotated-cyc/iter")
+	b.ReportMetric(fixed/rotated, "speedup-x")
+}
+
+// BenchmarkSimulatorThroughput measures the event-driven core's simulation
+// speed in dynamic instructions per second — the practical budget every
+// experiment sweep spends from.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prog := buildLoadKernel(b, 8)
+	arch := isa.Nehalem()
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rf isa.RegFile
+		rf.Set(isa.RDI, 32*5000-1)
+		rf.Set(isa.RSI, 0x100000)
+		core := cpu.NewCore(0, arch, fixedLatencyMem{lat: 4})
+		if err := core.Reset(prog, &rf, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Step(math.MaxInt64); err != nil {
+			b.Fatal(err)
+		}
+		insts += core.Result().Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkGenerate510Variants measures MicroCreator's generation speed on
+// the paper's 510-variant input.
+func BenchmarkGenerate510Variants(b *testing.B) {
+	spec := fig6Spec()
+	for i := 0; i < b.N; i++ {
+		progs, err := GenerateString(spec, GenerateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(progs) != 510 {
+			b.Fatalf("generated %d variants, want 510", len(progs))
+		}
+	}
+}
+
+func fig6Spec() string {
+	return `
+<kernel name="loadstore">
+  <instruction>
+    <operation>movaps</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling><min>1</min><max>8</max></unrolling>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>16</increment>
+    <offset>16</offset>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <induction>
+    <register><phyName>%eax</phyName></register>
+    <increment>1</increment>
+    <not_affected_unroll/>
+  </induction>
+  <branch_information><label>.L6</label><test>jge</test></branch_information>
+</kernel>`
+}

@@ -1,0 +1,169 @@
+// Command microlauncher is the paper's §4 tool: it executes a benchmark
+// program in a stable, controlled (simulated) environment and reports
+// cycles per iteration as CSV.
+//
+// Usage:
+//
+//	microlauncher -kernel k.s [-function name] [options...]
+//
+// The option surface mirrors the paper's ">30 options": input selection,
+// machine/environment, data arrays, measurement protocol and output
+// control. Run with -h for the full list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microtools/internal/core"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/stats"
+)
+
+func main() {
+	var (
+		// Input selection.
+		kernelPath = flag.String("kernel", "", "kernel assembly file (required; - for stdin)")
+		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1)")
+		// Machine / environment.
+		machineName = flag.String("machine", "nehalem-dual", "simulated machine, optionally scaled: "+strings.Join(machine.Names(), "|")+"[ /factor]")
+		freq        = flag.Float64("frequency", 0, "core frequency in GHz (0 = nominal; Fig. 13 sweeps)")
+		pin         = flag.Int("pin", 0, "core to pin a sequential run to")
+		cores       = flag.Int("cores", 1, "core count for fork/openmp modes")
+		mode        = flag.String("mode", "sequential", "execution mode: sequential|fork|openmp")
+		spread      = flag.Bool("spread-sockets", true, "round-robin fork processes across sockets")
+		noIRQ       = flag.Bool("disable-interrupts", true, "suppress environmental noise during runs (§4.7)")
+		noiseSeed   = flag.Int64("noise-seed", 0, "seed for the noise generator when interrupts are enabled")
+		// Data arrays.
+		nbVectors  = flag.Int("nbvectors", 0, "number of data arrays (0 = derive from the kernel)")
+		arrayBytes = flag.Int64("size", 1<<16, "bytes per data array")
+		alignments = flag.String("alignments", "", "comma-separated per-array byte offsets within the alignment window")
+		alignWin   = flag.Int64("align-window", 4096, "alignment window (power of two)")
+		// Measurement protocol.
+		trip      = flag.Int64("trip", 0, "trip count element argument (0 = size/element-bytes)")
+		tripExact = flag.Bool("trip-exact", false, "pass the trip count unmodified (count-up kernels)")
+		elemBytes = flag.Int64("element-bytes", 4, "logical element size")
+		innerReps = flag.Int("inner-reps", 4, "kernel calls per timed experiment (§4.5 inner loop)")
+		outerReps = flag.Int("outer-reps", 4, "repeated experiments (§4.5 outer loop)")
+		warmup    = flag.Bool("warmup", true, "heat the caches before measuring (§4.5)")
+		calibrate = flag.Bool("calibrate", true, "subtract the empty-kernel call overhead (§4.5)")
+		statName  = flag.String("statistic", "min", "reported statistic: min|median|mean|max")
+		maxInsts  = flag.Int64("max-instructions", 0, "dynamic instruction budget per call (0 = unlimited)")
+		ompScale  = flag.Float64("omp-overhead-scale", 1, "scale for the OpenMP region overhead model")
+		ompSched  = flag.String("omp-schedule", "static", "OpenMP schedule: static|dynamic")
+		ompChunk  = flag.Int64("omp-chunk", 1024, "chunk elements for schedule(dynamic)")
+		energy    = flag.Bool("energy", false, "attach the power-model estimate (energy_j/avg_watts CSV columns)")
+		// Output.
+		unitName = flag.String("unit", "tsc", "time unit: tsc|cycles|seconds")
+		perIter  = flag.Bool("per-iteration", true, "divide by the kernel's %eax iteration count (§4.4)")
+		verbose  = flag.Bool("v", false, "protocol progress on stderr")
+		memStats = flag.Bool("mem-stats", false, "print memory-system counters on stderr")
+		dump     = flag.Bool("dump-kernel", false, "print the decoded kernel (AT&T) on stderr before running")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microlauncher: %v\n", err)
+		os.Exit(1)
+	}
+	if *kernelPath == "" {
+		fmt.Fprintln(os.Stderr, "microlauncher: -kernel is required (see -h)")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if *kernelPath == "-" {
+		buf := make([]byte, 0, 64<<10)
+		tmp := make([]byte, 32<<10)
+		for {
+			n, rerr := os.Stdin.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		src = buf
+	} else {
+		src, err = os.ReadFile(*kernelPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+	prog, err := core.LoadKernel(string(src), *function)
+	if err != nil {
+		fail(err)
+	}
+	if *dump {
+		fmt.Fprint(os.Stderr, prog.Print())
+	}
+
+	opts := launcher.DefaultOptions()
+	opts.FunctionName = *function
+	opts.MachineName = *machineName
+	opts.CoreFrequencyGHz = *freq
+	opts.PinCore = *pin
+	opts.Cores = *cores
+	opts.SpreadSockets = *spread
+	opts.DisableInterrupts = *noIRQ
+	opts.NoiseSeed = *noiseSeed
+	opts.NBVectors = *nbVectors
+	opts.ArrayBytes = *arrayBytes
+	opts.AlignWindow = *alignWin
+	opts.TripElements = *trip
+	opts.TripExact = *tripExact
+	opts.ElementBytes = *elemBytes
+	opts.InnerReps = *innerReps
+	opts.OuterReps = *outerReps
+	opts.Warmup = *warmup
+	opts.Calibrate = *calibrate
+	opts.MaxInstructions = *maxInsts
+	opts.OMPOverheadScale = *ompScale
+	opts.PerIteration = *perIter
+	opts.ReportEnergy = *energy
+	switch *ompSched {
+	case "static":
+	case "dynamic":
+		opts.OMPDynamic = true
+		opts.OMPChunkElements = *ompChunk
+	default:
+		fail(fmt.Errorf("unknown -omp-schedule %q (want static|dynamic)", *ompSched))
+	}
+
+	if opts.Mode, err = launcher.ParseMode(*mode); err != nil {
+		fail(err)
+	}
+	if opts.Statistic, err = stats.ParseStatistic(*statName); err != nil {
+		fail(err)
+	}
+	if opts.TimeUnit, err = launcher.ParseTimeUnit(*unitName); err != nil {
+		fail(err)
+	}
+	if *alignments != "" {
+		for _, a := range strings.Split(*alignments, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("bad alignment %q: %v", a, err))
+			}
+			opts.Alignments = append(opts.Alignments, v)
+		}
+	}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
+
+	m, err := launcher.Launch(prog, opts)
+	if err != nil {
+		fail(err)
+	}
+	if err := launcher.WriteCSV(os.Stdout, []*launcher.Measurement{m}); err != nil {
+		fail(err)
+	}
+	if *memStats {
+		fmt.Fprintf(os.Stderr, "mem: %+v\n", m.MemStats)
+	}
+}

@@ -1,0 +1,154 @@
+// Command microtools drives the end-to-end reproduction: it lists and runs
+// the paper's evaluation experiments (Figs. 3-5, 11-18, Table 2 and the
+// §4.7 stability study), writing each result as CSV and an ASCII chart.
+//
+// Usage:
+//
+//	microtools -list
+//	microtools -experiment fig11 [-quick] [-csv out.csv] [-v]
+//	microtools -all [-quick] [-outdir results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"microtools/internal/analysis"
+	"microtools/internal/core"
+	"microtools/internal/experiments"
+	"microtools/internal/launcher"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the available experiments")
+		expID   = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")
+		all     = flag.Bool("all", false, "run every experiment")
+		study   = flag.String("study", "", "XML kernel description: generate all variants, launch each, report the best (§7 workflow)")
+		machine = flag.String("machine", "nehalem-dual/8", "machine for -study")
+		size    = flag.Int64("size", 1<<14, "array bytes for -study")
+		screen  = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
+		quick   = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
+		csvOut  = flag.String("csv", "", "write the result table as CSV to this file")
+		outDir  = flag.String("outdir", "results", "output directory for -all")
+		plain   = flag.Bool("no-chart", false, "suppress the ASCII chart")
+		vFlag   = flag.Bool("v", false, "progress on stderr")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microtools: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		fmt.Println("Paper experiments (see DESIGN.md for the full index):")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+			fmt.Printf("  %10s machine: %s\n", "", e.Machine)
+			fmt.Printf("  %10s paper:   %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	if *vFlag {
+		cfg.Verbose = os.Stderr
+	}
+
+	runOne := func(e *experiments.Experiment, csvPath string) error {
+		fmt.Printf("== %s: %s\n   machine: %s\n", e.ID, e.Title, e.Machine)
+		tab, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if !*plain {
+			fmt.Println(tab.ASCII(64, 14))
+		}
+		if *vFlag {
+			fmt.Print(analysis.StudyReport(tab))
+		}
+		if csvPath != "" {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := tab.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("   csv: %s\n", csvPath)
+		} else {
+			fmt.Print(tab.CSVString())
+		}
+		return nil
+	}
+
+	switch {
+	case *study != "":
+		f, err := os.Open(*study)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opts := launcher.DefaultOptions()
+		opts.MachineName = *machine
+		opts.ArrayBytes = *size
+		if *quick {
+			opts.InnerReps = 1
+			opts.OuterReps = 2
+		}
+		progs, err := core.Generate(f, core.GenerateOptions{})
+		if err != nil {
+			fail(err)
+		}
+		if *screen > 0 {
+			kept, err := core.ScreenTopK(progs, *machine, *size, int(opts.ElementBytes), *screen)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("analytic screening: %d of %d variants kept for measurement\n", len(kept), len(progs))
+			progs = kept
+		}
+		ms, err := core.LaunchAll(progs, opts, 0)
+		if err != nil {
+			fail(err)
+		}
+		ranking := analysis.RankPerElement(ms)
+		fmt.Print(ranking.Report())
+		if *csvOut != "" {
+			out, err := os.Create(*csvOut)
+			if err != nil {
+				fail(err)
+			}
+			defer out.Close()
+			if err := launcher.WriteCSV(out, ms); err != nil {
+				fail(err)
+			}
+			fmt.Printf("csv: %s\n", *csvOut)
+		}
+	case *expID != "":
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fail(err)
+		}
+		if err := runOne(e, *csvOut); err != nil {
+			fail(err)
+		}
+	case *all:
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, e := range experiments.All() {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := runOne(e, path); err != nil {
+				fail(fmt.Errorf("%s: %w", e.ID, err))
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "microtools: pass -list, -experiment <id> or -all (see -h)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module microtools
+
+go 1.23

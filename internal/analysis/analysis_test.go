@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"microtools/internal/launcher"
+	"microtools/internal/stats"
+)
+
+func meas(name string, v float64) *launcher.Measurement {
+	return &launcher.Measurement{Kernel: name, Value: v}
+}
+
+func TestBestWorstAndRank(t *testing.T) {
+	ms := []*launcher.Measurement{meas("a", 3), meas("b", 1), meas("c", 2)}
+	b, err := Best(ms)
+	if err != nil || b.Kernel != "b" {
+		t.Errorf("Best = %v, %v", b, err)
+	}
+	w, err := Worst(ms)
+	if err != nil || w.Kernel != "a" {
+		t.Errorf("Worst = %v, %v", w, err)
+	}
+	r := Rank(ms)
+	if r[0].Kernel != "b" || r[2].Kernel != "a" {
+		t.Errorf("rank order wrong: %v", r)
+	}
+	if g := r.Gain(); g < 0.66 || g > 0.67 {
+		t.Errorf("gain = %v, want (3-1)/3", g)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "* b") || !strings.Contains(rep, "66.7%") {
+		t.Errorf("report:\n%s", rep)
+	}
+	if _, err := Best(nil); err == nil {
+		t.Error("empty Best accepted")
+	}
+	if _, err := Worst(nil); err == nil {
+		t.Error("empty Worst accepted")
+	}
+}
+
+func TestFindKnees(t *testing.T) {
+	s := &stats.Series{}
+	for _, p := range []struct{ x, y float64 }{
+		{10, 4}, {20, 4.1}, {30, 4.2}, {40, 9}, {50, 9.3}, {60, 20},
+	} {
+		s.Add(p.x, p.y)
+	}
+	knees := FindKnees(s, 1.5)
+	if len(knees) != 2 || knees[0].X != 40 || knees[1].X != 60 {
+		t.Errorf("knees = %+v", knees)
+	}
+	if FindKnees(&stats.Series{}, 1.5) != nil {
+		t.Error("empty series has knees")
+	}
+}
+
+func TestFindPlateaus(t *testing.T) {
+	s := &stats.Series{}
+	ys := []float64{4, 4.1, 3.9, 9, 9.2, 9.1, 20}
+	for i, y := range ys {
+		s.Add(float64(i), y)
+	}
+	ps := FindPlateaus(s, 0.15)
+	if len(ps) != 3 {
+		t.Fatalf("plateaus = %+v", ps)
+	}
+	if ps[0].N != 3 || ps[1].N != 3 || ps[2].N != 1 {
+		t.Errorf("plateau sizes = %+v", ps)
+	}
+	if ps[1].StartX != 3 || ps[1].EndX != 5 {
+		t.Errorf("plateau 1 range = %+v", ps[1])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := &stats.Series{Name: "seq"}
+	b := &stats.Series{Name: "omp"}
+	a.Add(1, 10)
+	a.Add(2, 12)
+	a.Add(3, 14) // no matching b point
+	b.Add(1, 5)
+	b.Add(2, 3)
+	sp, err := Speedup(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) != 2 || sp.Points[0].Y != 2 || sp.Points[1].Y != 4 {
+		t.Errorf("speedup = %+v", sp.Points)
+	}
+	if sp.Name != "seq/omp" {
+		t.Errorf("name = %q", sp.Name)
+	}
+	b0 := &stats.Series{Name: "z"}
+	b0.Add(1, 0)
+	if _, err := Speedup(a, b0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if _, err := Speedup(a, &stats.Series{Name: "empty"}); err == nil {
+		t.Error("disjoint series accepted")
+	}
+	if _, err := Speedup(nil, b); err == nil {
+		t.Error("nil series accepted")
+	}
+}
+
+func TestStudyReport(t *testing.T) {
+	tab := &stats.Table{Title: "study"}
+	seq := tab.AddSeries("sequential")
+	omp := tab.AddSeries("openmp")
+	for i := 1; i <= 4; i++ {
+		seq.Add(float64(i), 10)
+		omp.Add(float64(i), 4)
+	}
+	rep := StudyReport(tab)
+	for _, want := range []string{"sequential", "plateau", "speedup sequential/openmp: 2.50x-2.50x"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// Property: Rank is a permutation (same multiset) and sorted ascending;
+// Best equals the first ranked element.
+func TestPropertyRanking(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var ms []*launcher.Measurement
+		for i, v := range vals {
+			ms = append(ms, meas(strings.Repeat("k", i%3+1), float64(v)))
+		}
+		r := Rank(ms)
+		if len(r) != len(ms) {
+			return false
+		}
+		for i := 1; i < len(r); i++ {
+			if r[i].Value < r[i-1].Value {
+				return false
+			}
+		}
+		b, err := Best(ms)
+		return err == nil && b.Value == r[0].Value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: plateaus partition the series (point counts sum to the series
+// length) regardless of tolerance.
+func TestPropertyPlateausPartition(t *testing.T) {
+	f := func(ys []uint8, tolPct uint8) bool {
+		s := &stats.Series{}
+		for i, y := range ys {
+			s.Add(float64(i), float64(y)+1)
+		}
+		ps := FindPlateaus(s, float64(tolPct%50)/100)
+		n := 0
+		for _, p := range ps {
+			n += p.N
+		}
+		return n == len(ys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

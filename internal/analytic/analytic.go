@@ -1,0 +1,330 @@
+// Package analytic estimates the steady-state cost of a kernel loop
+// without event-driven simulation, in the style of static pipeline
+// analyzers: cycles per iteration is the maximum of four bounds —
+// frontend issue bandwidth, per-port pressure, the longest loop-carried
+// dependence recurrence, and memory throughput.
+//
+// The estimator serves two purposes in the reproduction: a fast screening
+// mode for large variant sets (MicroCreator can generate thousands), and an
+// ablation baseline quantifying what the event-driven model adds
+// (DESIGN.md, BenchmarkAblationAnalyticVsEventDriven).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"microtools/internal/isa"
+	"microtools/internal/machine"
+)
+
+// MemParams abstracts the memory level the kernel's working set resides in.
+type MemParams struct {
+	// LoadLatency is the effective load-to-use latency in core cycles.
+	LoadLatency int
+	// LoadsPerCycle / StoresPerCycle are sustainable throughputs at this
+	// level (already accounting for line-fill bandwidth).
+	LoadsPerCycle  float64
+	StoresPerCycle float64
+}
+
+// L1 returns the parameters of an L1-resident working set.
+func L1(arch *isa.Arch) MemParams {
+	loads := 1.0
+	if arch.TwoLoadPorts {
+		loads = 2.0
+	}
+	return MemParams{LoadLatency: 4, LoadsPerCycle: loads, StoresPerCycle: 1.0}
+}
+
+// ForLevel derives MemParams for a working set resident at the named level
+// ("L1", "L2", "L3", "RAM") of a machine model: the effective load latency
+// is the level's hit latency (converted to core cycles for uncore levels),
+// and the sustainable throughputs come from the level's service bandwidth
+// divided across accessWidth-byte accesses — assuming the streaming access
+// patterns MicroCreator generates (prefetch-covered, line-granular
+// bandwidth).
+func ForLevel(m *machine.Machine, level string, accessWidth int) (MemParams, error) {
+	if accessWidth <= 0 {
+		accessWidth = 4
+	}
+	h := m.Hierarchy
+	ratio := h.CoreClockRatio
+	line := float64(h.L1.LineSize)
+	perLine := line / float64(accessWidth)
+	base := L1(m.Arch)
+	switch level {
+	case "L1":
+		base.LoadLatency = h.L1.Latency
+		return base, nil
+	case "L2":
+		tp := float64(h.L2.ThroughputCycles)
+		if tp <= 0 {
+			tp = 1
+		}
+		return MemParams{
+			LoadLatency:    h.L2.Latency,
+			LoadsPerCycle:  math.Min(base.LoadsPerCycle, perLine/tp),
+			StoresPerCycle: math.Min(base.StoresPerCycle, perLine/tp),
+		}, nil
+	case "L3":
+		tp := float64(h.L3.ThroughputCycles) * ratio
+		if tp <= 0 {
+			tp = 1
+		}
+		return MemParams{
+			LoadLatency:    int(math.Ceil(float64(h.L3.Latency) * ratio)),
+			LoadsPerCycle:  math.Min(base.LoadsPerCycle, perLine/tp),
+			StoresPerCycle: math.Min(base.StoresPerCycle, perLine/tp),
+		}, nil
+	case "RAM":
+		lat := math.Ceil(float64(h.Mem.Latency) * ratio)
+		svc := line / h.Mem.ChannelBytesPerCycle * ratio
+		// A single core is bounded by its outstanding fills over the
+		// round trip, or the channel service rate, whichever is tighter.
+		rate := perLine / svc * float64(h.Mem.Channels)
+		if o := h.PrefetchOutstanding; o > 0 {
+			if r := float64(o) / (lat + svc) * perLine; r < rate {
+				rate = r
+			}
+		}
+		return MemParams{
+			LoadLatency:    int(lat),
+			LoadsPerCycle:  math.Min(base.LoadsPerCycle, rate),
+			StoresPerCycle: math.Min(base.StoresPerCycle, rate/2), // RFO doubles traffic
+		}, nil
+	}
+	return MemParams{}, fmt.Errorf("analytic: unknown level %q (want L1|L2|L3|RAM)", level)
+}
+
+// Estimate is the analytic result.
+type Estimate struct {
+	CyclesPerIter float64
+	// Bounds breakdown (the maximum is CyclesPerIter).
+	Frontend   float64
+	Ports      float64
+	Recurrence float64
+	Memory     float64
+	// Loop is the [start, end] instruction index range analyzed.
+	LoopStart, LoopEnd int
+}
+
+// Bottleneck names the binding bound.
+func (e Estimate) Bottleneck() string {
+	switch e.CyclesPerIter {
+	case e.Memory:
+		return "memory"
+	case e.Recurrence:
+		return "recurrence"
+	case e.Ports:
+		return "ports"
+	default:
+		return "frontend"
+	}
+}
+
+// findLoop locates the dominant loop: the last backward conditional branch
+// and its target.
+func findLoop(p *isa.Program) (start, end int, err error) {
+	for i := len(p.Insts) - 1; i >= 0; i-- {
+		in := &p.Insts[i]
+		if in.Op.IsCondBranch() && in.Target >= 0 && in.Target <= i {
+			return in.Target, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("analytic: program %q has no backward loop", p.Name)
+}
+
+// EstimateLoop analyzes the dominant loop of the program.
+func EstimateLoop(p *isa.Program, arch *isa.Arch, mem MemParams) (Estimate, error) {
+	start, end, err := findLoop(p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{LoopStart: start, LoopEnd: end}
+
+	// --- frontend bound -------------------------------------------------
+	slots := 0
+	var uopsBuf []isa.Uop
+	var flexUops []isa.PortMask
+	portPressure := [isa.NumPorts]float64{}
+	loads, stores := 0, 0
+	for i := start; i <= end; i++ {
+		in := &p.Insts[i]
+		uopsBuf, err = arch.Decode(in, uopsBuf[:0])
+		if err != nil {
+			return Estimate{}, err
+		}
+		if in.IsLoad() {
+			loads++
+		}
+		if in.IsStore() {
+			stores++
+		}
+		for _, u := range uopsBuf {
+			if !u.Fused {
+				slots++
+			}
+			if u.Ports.Count() == 0 {
+				return Estimate{}, fmt.Errorf("analytic: µop with no ports in %s", in)
+			}
+			flexUops = append(flexUops, u.Ports)
+		}
+	}
+	// Port pressure by water-filling: single-port µops first, then each
+	// flexible µop poured onto its least-loaded allowed ports (the limit
+	// of an ideally balanced scheduler).
+	sortByChoices(flexUops)
+	for _, mask := range flexUops {
+		waterFill(&portPressure, mask, 1.0)
+	}
+	est.Frontend = float64(slots) / float64(arch.IssueWidth)
+	if slots > arch.LSDSize {
+		est.Frontend += 1 + float64(arch.TakenBranchBubble)
+	}
+
+	// --- port bound --------------------------------------------------------
+	for _, pr := range portPressure {
+		if pr > est.Ports {
+			est.Ports = pr
+		}
+	}
+
+	// --- recurrence bound ----------------------------------------------------
+	// One symbolic pass: dist[r] is the completion time of the latest write
+	// to r relative to iteration start. After the pass, dist[r] for a
+	// register that is loop-carried (read before written, including
+	// read-modify destinations) is the per-iteration increment of its chain.
+	var dist [isa.NumRegs]float64
+	var written [isa.NumRegs]bool
+	var carried [isa.NumRegs]bool
+	flagDist := 0.0
+	for i := start; i <= end; i++ {
+		in := &p.Insts[i]
+		uopsBuf, _ = arch.Decode(in, uopsBuf[:0])
+		ready := 0.0
+		consider := func(r isa.Reg) {
+			if r == isa.NoReg {
+				return
+			}
+			if !written[r] {
+				carried[r] = true
+			}
+			if dist[r] > ready {
+				ready = dist[r]
+			}
+		}
+		if m, _, ok := in.MemOperand(); ok {
+			consider(m.Base)
+			consider(m.Index)
+		}
+		for oi := 0; oi < in.NOps; oi++ {
+			o := in.Operand(oi)
+			if o.Kind != isa.RegOperand {
+				continue
+			}
+			if oi == in.NOps-1 && in.Op.IsMove() {
+				continue
+			}
+			consider(o.Reg)
+		}
+		if in.Op.ReadsFlags() && flagDist > ready {
+			ready = flagDist
+		}
+		lat := 0
+		for _, u := range uopsBuf {
+			if u.Role == isa.RoleLoad {
+				lat += mem.LoadLatency
+			} else {
+				lat += u.Lat
+			}
+		}
+		done := ready + float64(lat)
+		if dst := in.Dst(); in.NOps > 0 && dst.Kind == isa.RegOperand {
+			dist[dst.Reg] = done
+			written[dst.Reg] = true
+		}
+		if in.Op.WritesFlags() {
+			flagDist = done
+		}
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if carried[r] && written[r] && dist[r] > est.Recurrence {
+			est.Recurrence = dist[r]
+		}
+	}
+
+	// --- memory bound -----------------------------------------------------------
+	if mem.LoadsPerCycle > 0 && loads > 0 {
+		if b := float64(loads) / mem.LoadsPerCycle; b > est.Memory {
+			est.Memory = b
+		}
+	}
+	if mem.StoresPerCycle > 0 && stores > 0 {
+		if b := float64(stores) / mem.StoresPerCycle; b > est.Memory {
+			est.Memory = b
+		}
+	}
+
+	est.CyclesPerIter = est.Frontend
+	for _, b := range []float64{est.Ports, est.Recurrence, est.Memory} {
+		if b > est.CyclesPerIter {
+			est.CyclesPerIter = b
+		}
+	}
+	return est, nil
+}
+
+// sortByChoices orders masks by ascending port-choice count (insertion
+// sort; loop bodies are small).
+func sortByChoices(ms []isa.PortMask) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Count() < ms[j-1].Count(); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// waterFill distributes amount of work over the allowed ports so the
+// maximum level rises as little as possible: it repeatedly tops up the
+// least-loaded allowed ports to the next level.
+func waterFill(load *[isa.NumPorts]float64, mask isa.PortMask, amount float64) {
+	var ports []isa.Port
+	for p := isa.Port(0); p < isa.NumPorts; p++ {
+		if mask.Has(p) {
+			ports = append(ports, p)
+		}
+	}
+	for amount > 1e-12 {
+		// Find the minimum level and the next-higher level among allowed
+		// ports.
+		minLevel := load[ports[0]]
+		for _, p := range ports[1:] {
+			if load[p] < minLevel {
+				minLevel = load[p]
+			}
+		}
+		var atMin []isa.Port
+		next := -1.0
+		for _, p := range ports {
+			if load[p] <= minLevel+1e-12 {
+				atMin = append(atMin, p)
+			} else if next < 0 || load[p] < next {
+				next = load[p]
+			}
+		}
+		var step float64
+		if next < 0 {
+			step = amount / float64(len(atMin))
+		} else {
+			step = next - minLevel
+			if need := amount / float64(len(atMin)); need < step {
+				step = need
+			}
+		}
+		for _, p := range atMin {
+			load[p] += step
+		}
+		amount -= step * float64(len(atMin))
+	}
+}

@@ -1,0 +1,189 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"microtools/internal/asm"
+	"microtools/internal/cpu"
+	"microtools/internal/isa"
+	"microtools/internal/machine"
+)
+
+type fixedMem struct{ lat int64 }
+
+func (m fixedMem) Load(_ int, _ uint64, _ int, issue int64) int64  { return issue + m.lat }
+func (m fixedMem) Store(_ int, _ uint64, _ int, issue int64) int64 { return issue + 1 }
+
+func loadKernel(u int) string {
+	var b strings.Builder
+	b.WriteString(".L0:\n")
+	for c := 0; c < u; c++ {
+		fmt.Fprintf(&b, "movaps %d(%%rsi), %%xmm%d\n", 16*c, c%8)
+	}
+	fmt.Fprintf(&b, "add $%d, %%rsi\n", 16*u)
+	fmt.Fprintf(&b, "sub $%d, %%rdi\n", 4*u)
+	b.WriteString("jge .L0\nret\n")
+	return b.String()
+}
+
+func chainKernel(n int) string {
+	var b strings.Builder
+	b.WriteString(".L0:\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("addsd %xmm1, %xmm1\n")
+	}
+	b.WriteString("sub $1, %rdi\njge .L0\nret\n")
+	return b.String()
+}
+
+func measure(t *testing.T, arch *isa.Arch, src string, iters int64, elemsPerIter int) float64 {
+	t.Helper()
+	p, err := asm.ParseOne(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf isa.RegFile
+	rf.Set(isa.RDI, uint64(iters*int64(elemsPerIter))-1)
+	rf.Set(isa.RSI, 0x100000)
+	core := cpu.NewCore(0, arch, fixedMem{lat: 4})
+	if err := core.Reset(p, &rf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Step(math.MaxInt64); err != nil {
+		t.Fatal(err)
+	}
+	return float64(core.Result().Cycles) / float64(iters)
+}
+
+func estimate(t *testing.T, arch *isa.Arch, src string) Estimate {
+	t.Helper()
+	p, err := asm.ParseOne(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EstimateLoop(p, arch, L1(arch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAnalyticMatchesEventDriven cross-validates the two models on
+// L1-resident kernels: within 35% across kernel shapes.
+func TestAnalyticMatchesEventDriven(t *testing.T) {
+	arch := isa.Nehalem()
+	cases := []struct {
+		name         string
+		src          string
+		elemsPerIter int
+	}{
+		{"load-u1", loadKernel(1), 4},
+		{"load-u4", loadKernel(4), 16},
+		{"load-u8", loadKernel(8), 32},
+		{"chain-4", chainKernel(4), 1},
+		{"chain-8", chainKernel(8), 1},
+	}
+	for _, c := range cases {
+		measured := measure(t, arch, c.src, 2000, c.elemsPerIter)
+		est := estimate(t, arch, c.src)
+		ratio := est.CyclesPerIter / measured
+		if ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("%s: analytic %.2f vs event-driven %.2f (ratio %.2f)",
+				c.name, est.CyclesPerIter, measured, ratio)
+		}
+	}
+}
+
+func TestBottleneckClassification(t *testing.T) {
+	arch := isa.Nehalem()
+	// Dependent FP chain: recurrence-bound.
+	chain := estimate(t, arch, chainKernel(8))
+	if chain.Bottleneck() != "recurrence" {
+		t.Errorf("chain kernel bottleneck = %s (%+v)", chain.Bottleneck(), chain)
+	}
+	if chain.Recurrence != float64(8*arch.FPAddLat) {
+		t.Errorf("chain recurrence = %.1f, want %d", chain.Recurrence, 8*arch.FPAddLat)
+	}
+	// 8 loads: memory/port bound at 1 load per cycle.
+	loads := estimate(t, arch, loadKernel(8))
+	if loads.CyclesPerIter < 7.5 || loads.CyclesPerIter > 9.5 {
+		t.Errorf("8-load kernel = %.2f cycles/iter, want ~8 (port bound)", loads.CyclesPerIter)
+	}
+}
+
+func TestSandyBridgeDoubleLoadBound(t *testing.T) {
+	nhm := estimate(t, isa.Nehalem(), loadKernel(8))
+	snb := estimate(t, isa.SandyBridge(), loadKernel(8))
+	if snb.CyclesPerIter >= nhm.CyclesPerIter {
+		t.Errorf("SNB estimate %.2f not below NHM %.2f", snb.CyclesPerIter, nhm.CyclesPerIter)
+	}
+}
+
+func TestNoLoopError(t *testing.T) {
+	p, err := asm.ParseOne("nop\nret", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateLoop(p, isa.Nehalem(), L1(isa.Nehalem())); err == nil {
+		t.Error("expected error for loop-free program")
+	}
+}
+
+// TestMemoryBoundDominates: with a low sustainable load rate (RAM-like),
+// the memory bound takes over.
+func TestMemoryBoundDominates(t *testing.T) {
+	p, err := asm.ParseOne(loadKernel(8), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram := MemParams{LoadLatency: 150, LoadsPerCycle: 0.2, StoresPerCycle: 0.2}
+	e, err := EstimateLoop(p, isa.Nehalem(), ram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bottleneck() != "memory" || e.CyclesPerIter != 40 {
+		t.Errorf("RAM estimate = %+v", e)
+	}
+}
+
+// TestForLevelOrdering: derived per-level parameters slow down
+// monotonically down the hierarchy and roughly predict the event-driven
+// RAM behaviour.
+func TestForLevelOrdering(t *testing.T) {
+	m, err := machine.ByName("nehalem-dual/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.ParseOne(loadKernel(8), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, level := range []string{"L1", "L2", "L3", "RAM"} {
+		mp, err := ForLevel(m, level, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := EstimateLoop(prog, m.Arch, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.CyclesPerIter < prev {
+			t.Errorf("%s estimate %.2f below the previous level's %.2f", level, e.CyclesPerIter, prev)
+		}
+		prev = e.CyclesPerIter
+	}
+	// RAM estimate in the right decade: the measured full-stack value is
+	// ~5.5 cycles/instruction x 8 = ~44 cycles/iteration.
+	ram, _ := ForLevel(m, "RAM", 16)
+	e, _ := EstimateLoop(prog, m.Arch, ram)
+	if e.CyclesPerIter < 15 || e.CyclesPerIter > 90 {
+		t.Errorf("RAM estimate %.1f cycles/iter outside the plausible band", e.CyclesPerIter)
+	}
+	if _, err := ForLevel(m, "L4", 16); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Package asm parses the AT&T-syntax x86-64 assembly subset that
+// MicroCreator emits (and that the paper's listings use) into decoded
+// isa.Programs for MicroLauncher. It is the reproduction of the launcher's
+// "compiles the kernel code, if necessary, into a dynamic library loaded at
+// run-time" step (§4.1): here the loadable form is the decoded program.
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"microtools/internal/isa"
+)
+
+// ParseError reports a syntax error with its source line.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d (%q): %v", e.Line, e.Text, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse reads one or more functions from AT&T assembly source. Each
+// ".globl"-declared label starts a function; a file without directives is a
+// single function named by defaultName. Branch targets are resolved and each
+// program validated.
+func Parse(r io.Reader, defaultName string) ([]*isa.Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	var progs []*isa.Program
+	cur := &isa.Program{Name: defaultName, Labels: map[string]int{}}
+	globals := map[string]bool{}
+	lineNo := 0
+
+	flush := func() {
+		if len(cur.Insts) > 0 {
+			progs = append(progs, cur)
+		}
+		cur = &isa.Program{Name: defaultName, Labels: map[string]int{}}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(line, ":"):
+			label := strings.TrimSuffix(line, ":")
+			if globals[label] {
+				// New function begins.
+				flush()
+				cur.Name = label
+			} else {
+				if _, dup := cur.Labels[label]; dup {
+					return nil, &ParseError{lineNo, line, fmt.Errorf("duplicate label %q", label)}
+				}
+				cur.Labels[label] = len(cur.Insts)
+			}
+		case strings.HasPrefix(line, "."):
+			// Directive. Track .globl names so we can split functions;
+			// ignore the rest (.text, .align, .type, .size, ...).
+			fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+			if fields[0] == ".globl" || fields[0] == ".global" {
+				if len(fields) != 2 {
+					return nil, &ParseError{lineNo, line, fmt.Errorf("malformed %s", fields[0])}
+				}
+				globals[fields[1]] = true
+			}
+		default:
+			inst, err := parseInst(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, line, err}
+			}
+			cur.Insts = append(cur.Insts, inst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("asm: no instructions found")
+	}
+	for _, p := range progs {
+		if err := p.Resolve(); err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return progs, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(src, defaultName string) ([]*isa.Program, error) {
+	return Parse(strings.NewReader(src), defaultName)
+}
+
+// ParseOne parses a source expected to contain exactly one function.
+func ParseOne(src, defaultName string) (*isa.Program, error) {
+	progs, err := ParseString(src, defaultName)
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) != 1 {
+		return nil, fmt.Errorf("asm: expected one function, found %d", len(progs))
+	}
+	return progs[0], nil
+}
+
+func parseInst(line string) (isa.Inst, error) {
+	var inst isa.Inst
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	op, err := isa.ParseOp(mnemonic)
+	if err != nil {
+		return inst, err
+	}
+	inst.Op = op
+	if rest == "" {
+		if op.IsBranch() {
+			return inst, fmt.Errorf("branch %s without target", op)
+		}
+		return inst, nil
+	}
+	operands, err := splitOperands(rest)
+	if err != nil {
+		return inst, err
+	}
+	if len(operands) > 3 {
+		return inst, fmt.Errorf("too many operands (%d)", len(operands))
+	}
+	for i, text := range operands {
+		o, err := parseOperand(text, op)
+		if err != nil {
+			return inst, err
+		}
+		switch i {
+		case 0:
+			inst.A = o
+		case 1:
+			inst.B = o
+		case 2:
+			inst.C = o
+		}
+		inst.NOps++
+	}
+	return inst, nil
+}
+
+// splitOperands splits on commas that are not inside a memory reference's
+// parentheses.
+func splitOperands(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parenthesis")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parenthesis")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	for _, o := range out {
+		if o == "" {
+			return nil, fmt.Errorf("empty operand")
+		}
+	}
+	return out, nil
+}
+
+func parseOperand(text string, op isa.Op) (isa.Operand, error) {
+	switch {
+	case strings.HasPrefix(text, "$"):
+		v, err := parseInt(text[1:])
+		if err != nil {
+			return isa.Operand{}, fmt.Errorf("bad immediate %q: %v", text, err)
+		}
+		return isa.NewImm(v), nil
+	case strings.HasPrefix(text, "%"):
+		r, err := isa.ParseReg(text)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.NewReg(r), nil
+	case strings.Contains(text, "("):
+		m, err := parseMem(text)
+		if err != nil {
+			return isa.Operand{}, err
+		}
+		return isa.NewMem(m), nil
+	default:
+		if op.IsBranch() {
+			return isa.NewLabel(text), nil
+		}
+		// A bare integer (rare, e.g. "16(%rsi)" handled above); treat a
+		// bare symbol on a non-branch as an error.
+		return isa.Operand{}, fmt.Errorf("unsupported operand %q for %s", text, op)
+	}
+}
+
+// parseMem parses disp(base,index,scale) with every component optional
+// except the parentheses.
+func parseMem(text string) (isa.MemRef, error) {
+	m := isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}
+	open := strings.IndexByte(text, '(')
+	closeIdx := strings.LastIndexByte(text, ')')
+	if open < 0 || closeIdx < open {
+		return m, fmt.Errorf("bad memory operand %q", text)
+	}
+	if closeIdx != len(text)-1 {
+		return m, fmt.Errorf("trailing characters after memory operand %q", text)
+	}
+	if disp := strings.TrimSpace(text[:open]); disp != "" {
+		v, err := parseInt(disp)
+		if err != nil {
+			return m, fmt.Errorf("bad displacement %q: %v", disp, err)
+		}
+		m.Disp = v
+	}
+	inner := text[open+1 : closeIdx]
+	parts := strings.Split(inner, ",")
+	if len(parts) > 3 {
+		return m, fmt.Errorf("bad memory operand %q", text)
+	}
+	if base := strings.TrimSpace(parts[0]); base != "" {
+		r, err := isa.ParseReg(base)
+		if err != nil {
+			return m, err
+		}
+		m.Base = r
+	}
+	if len(parts) >= 2 {
+		if idx := strings.TrimSpace(parts[1]); idx != "" {
+			r, err := isa.ParseReg(idx)
+			if err != nil {
+				return m, err
+			}
+			m.Index = r
+			m.Scale = 1
+		}
+	}
+	if len(parts) == 3 {
+		s := strings.TrimSpace(parts[2])
+		v, err := parseInt(s)
+		if err != nil {
+			return m, fmt.Errorf("bad scale %q: %v", s, err)
+		}
+		if m.Index == isa.NoReg {
+			return m, fmt.Errorf("scale without index in %q", text)
+		}
+		m.Scale = v
+	}
+	return m, nil
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		return strconv.ParseInt(s, 0, 64)
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

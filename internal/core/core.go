@@ -1,0 +1,364 @@
+// Package core orchestrates the two MicroTools: it drives MicroCreator
+// (XML → pass pipeline → benchmark programs) and MicroLauncher (program →
+// stable measurement) end to end, the way the paper's workflow chains them
+// ("MicroCreator's current work focuses on automatically generating
+// programs on new architectures and launching them with MicroLauncher",
+// §3.5).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"microtools/internal/analytic"
+	"microtools/internal/asm"
+	"microtools/internal/codegen"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/passes"
+	"microtools/internal/plugin"
+	"microtools/internal/xmlspec"
+)
+
+// GenerateOptions configures a MicroCreator run.
+type GenerateOptions struct {
+	// Seed seeds the random-select pass.
+	Seed int64
+	// DisableAssembly suppresses the assembly output (emitted by
+	// default); EmitC additionally emits C source.
+	DisableAssembly bool
+	EmitC           bool
+	// Plugins names registered plugins to apply to the pass manager
+	// before running (§3.3).
+	Plugins []string
+	// Customize, if non-nil, receives the pass manager for programmatic
+	// modification (the library-embedding equivalent of pluginInit).
+	Customize func(*passes.Manager) error
+	// Verbose receives per-pass progress.
+	Verbose io.Writer
+}
+
+// Generate runs MicroCreator over an XML kernel description.
+func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
+	kernels, err := xmlspec.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	m := passes.NewManager()
+	if err := plugin.Apply(m, opts.Plugins...); err != nil {
+		return nil, err
+	}
+	if opts.Customize != nil {
+		if err := opts.Customize(m); err != nil {
+			return nil, fmt.Errorf("core: customize: %w", err)
+		}
+	}
+	ctx := &passes.Context{
+		Seed:         opts.Seed,
+		EmitAssembly: !opts.DisableAssembly,
+		EmitC:        opts.EmitC,
+		Verbose:      opts.Verbose,
+	}
+	if _, err := m.Run(ctx, kernels); err != nil {
+		return nil, err
+	}
+	return ctx.Programs, nil
+}
+
+// GenerateString is Generate over a string.
+func GenerateString(xml string, opts GenerateOptions) ([]codegen.Program, error) {
+	return Generate(strings.NewReader(xml), opts)
+}
+
+// GenerateFile is Generate over a file.
+func GenerateFile(path string, opts GenerateOptions) ([]codegen.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Generate(f, opts)
+}
+
+// WritePrograms writes generated programs into a directory, one .s (and
+// optionally .c) file per variant, returning the file paths.
+func WritePrograms(progs []codegen.Program, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, p := range progs {
+		if p.Assembly != "" {
+			path := fmt.Sprintf("%s/%s.s", dir, p.Name)
+			if err := os.WriteFile(path, []byte(p.Assembly), 0o644); err != nil {
+				return nil, err
+			}
+			paths = append(paths, path)
+		}
+		if p.CSource != "" {
+			path := fmt.Sprintf("%s/%s.c", dir, p.Name)
+			if err := os.WriteFile(path, []byte(p.CSource), 0o644); err != nil {
+				return nil, err
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths, nil
+}
+
+// LoadKernel parses a kernel source and selects the kernel function: the
+// launcher's input path ("As input, the launcher accepts any assembly,
+// source code (C or Fortran), object file, or even a dynamic library",
+// §4.1). Assembly is parsed directly; C sources in MicroCreator's output
+// format carry the kernel as a GNU inline-assembly block, which is
+// extracted and parsed. An empty functionName requires exactly one
+// function.
+func LoadKernel(src, functionName string) (*isa.Program, error) {
+	if looksLikeC(src) {
+		extracted, err := extractInlineAsm(src)
+		if err != nil {
+			return nil, err
+		}
+		src = extracted
+	}
+	progs, err := asm.ParseString(src, "kernel")
+	if err != nil {
+		return nil, err
+	}
+	if functionName == "" {
+		if len(progs) != 1 {
+			var names []string
+			for _, p := range progs {
+				names = append(names, p.Name)
+			}
+			return nil, fmt.Errorf("core: input holds %d functions (%s); select one with the function name option",
+				len(progs), strings.Join(names, ", "))
+		}
+		return progs[0], nil
+	}
+	for _, p := range progs {
+		if p.Name == functionName {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no function %q in input", functionName)
+}
+
+// LoadKernelFile is LoadKernel over a file.
+func LoadKernelFile(path, functionName string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadKernel(string(data), functionName)
+}
+
+// Launch measures a kernel program with MicroLauncher.
+func Launch(prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
+	return launcher.Launch(prog, opts)
+}
+
+// Run chains the tools: generate all variants from the XML description and
+// launch each one, returning the measurements in generation order — the
+// paper's end-to-end automated workflow.
+func Run(xml io.Reader, gen GenerateOptions, launch launcher.Options) ([]*launcher.Measurement, error) {
+	return RunParallel(xml, gen, launch, 1)
+}
+
+// RunParallel is Run with the launches fanned out over a worker pool.
+// Every variant runs on its own simulated machine, so the measurements are
+// independent and bit-identical to a serial run; only wall-clock time
+// changes. workers <= 0 uses GOMAXPROCS.
+func RunParallel(xml io.Reader, gen GenerateOptions, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
+	progs, err := Generate(xml, gen)
+	if err != nil {
+		return nil, err
+	}
+	return LaunchAll(progs, launch, workers)
+}
+
+// LaunchAll measures every generated program over a worker pool (see
+// RunParallel), returning measurements in program order.
+func LaunchAll(progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: no programs to launch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(progs) {
+		workers = len(progs)
+	}
+	out := make([]*launcher.Measurement, len(progs))
+	errs := make([]error, len(progs))
+	if workers <= 1 {
+		for i := range progs {
+			out[i], errs[i] = launchOne(&progs[i], launch)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = launchOne(&progs[i], launch)
+				}
+			}()
+		}
+		for i := range progs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: launching %s: %w", progs[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+func launchOne(p *codegen.Program, opts launcher.Options) (*launcher.Measurement, error) {
+	kernel, err := asm.ParseOne(p.Assembly, p.Name)
+	if err != nil {
+		return nil, err
+	}
+	return launcher.Launch(kernel, opts)
+}
+
+// GeneratedProgram aliases the generator output type for CLI consumers.
+type GeneratedProgram = codegen.Program
+
+// looksLikeC detects MicroCreator's C output format.
+func looksLikeC(src string) bool {
+	return strings.Contains(src, "__asm__(") ||
+		strings.Contains(src, "/* Generated by MicroCreator")
+}
+
+// extractInlineAsm pulls the assembly text out of the __asm__("..."); block
+// of a MicroCreator-generated C translation unit.
+func extractInlineAsm(src string) (string, error) {
+	i := strings.Index(src, "__asm__(")
+	if i < 0 {
+		return "", fmt.Errorf("core: C input without an __asm__ block")
+	}
+	rest := src[i:]
+	end := strings.Index(rest, ");")
+	if end < 0 {
+		return "", fmt.Errorf("core: unterminated __asm__ block")
+	}
+	block := rest[:end]
+	var b strings.Builder
+	for {
+		q := strings.IndexByte(block, '"')
+		if q < 0 {
+			break
+		}
+		block = block[q+1:]
+		// Find the closing quote, honouring escapes.
+		j := 0
+		for j < len(block) {
+			if block[j] == '\\' {
+				j += 2
+				continue
+			}
+			if block[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(block) {
+			return "", fmt.Errorf("core: unterminated string in __asm__ block")
+		}
+		lit := block[:j]
+		block = block[j+1:]
+		unq, err := strconv.Unquote(`"` + lit + `"`)
+		if err != nil {
+			return "", fmt.Errorf("core: bad string literal in __asm__ block: %v", err)
+		}
+		b.WriteString(unq)
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("core: empty __asm__ block")
+	}
+	return b.String(), nil
+}
+
+// residencyLevel classifies a per-array footprint against a machine's
+// hierarchy (the §5.1 protocol's placement logic).
+func residencyLevel(m *machine.Machine, arrayBytes int64) string {
+	h := m.Hierarchy
+	switch {
+	case arrayBytes <= h.L1.Size:
+		return "L1"
+	case arrayBytes <= h.L2.Size:
+		return "L2"
+	case arrayBytes <= h.L3.Size:
+		return "L3"
+	}
+	return "RAM"
+}
+
+// ScreenTopK pre-ranks generated variants with the analytic steady-state
+// model (internal/analytic) and returns the k statically most promising
+// ones, by estimated cycles per element. MicroCreator can generate
+// thousands of variants; screening keeps full event-driven measurement
+// budgets for the contenders. accessWidth is the kernel's element width in
+// bytes (used for bandwidth bounds).
+func ScreenTopK(progs []codegen.Program, machineName string, arrayBytes int64, accessWidth, k int) ([]codegen.Program, error) {
+	if k <= 0 || k >= len(progs) {
+		return progs, nil
+	}
+	m, err := machine.ByName(machineName)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := analytic.ForLevel(m, residencyLevel(m, arrayBytes), accessWidth)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, 0, len(progs))
+	for i := range progs {
+		p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)
+		}
+		est, err := analytic.EstimateLoop(p, m.Arch, mp)
+		if err != nil {
+			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)
+		}
+		// Normalize per element: elements per iteration from the loop's
+		// memory traffic.
+		loopElems := 0.0
+		for j := est.LoopStart; j <= est.LoopEnd; j++ {
+			in := &p.Insts[j]
+			if w := in.Op.MemWidth(); in.IsLoad() || in.IsStore() {
+				loopElems += float64(w) / float64(accessWidth)
+			}
+		}
+		if loopElems == 0 {
+			loopElems = 1
+		}
+		scores = append(scores, scored{idx: i, score: est.CyclesPerIter / loopElems})
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
+	out := make([]codegen.Program, 0, k)
+	for _, s := range scores[:k] {
+		out = append(out, progs[s.idx])
+	}
+	return out, nil
+}

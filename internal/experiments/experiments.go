@@ -1,0 +1,75 @@
+// Package experiments reproduces every evaluation figure and table of the
+// paper (§2 and §5): each Experiment regenerates one plot/table as a
+// stats.Table whose series mirror the paper's plot lines. DESIGN.md holds
+// the experiment index; EXPERIMENTS.md records paper-vs-measured shapes.
+//
+// All experiments run on the Table 1 machines with cache capacities scaled
+// down (machine.Scaled) so full sweeps complete in seconds; array sizes are
+// scaled identically, so every residency boundary sits where the paper's
+// protocol puts it ("L1 actually represents where the array is half the
+// size of the architectures' first cache level", §5.1).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"microtools/internal/stats"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Quick shrinks sweeps for bench/CI runs (fewer points, smaller
+	// instruction budgets); the shapes remain.
+	Quick bool
+	// Verbose receives progress lines when non-nil.
+	Verbose io.Writer
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the figure/table identifier ("fig03" ... "tab02").
+	ID    string
+	Title string
+	// Paper summarizes what the paper's version shows (the shape to
+	// reproduce).
+	Paper string
+	// Machine names the Table 1 platform used (scaled variant).
+	Machine string
+	Run     func(Config) (*stats.Table, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in paper order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids)
+}
+
+// Table re-exports stats.Table for experiment consumers.
+type Table = stats.Table

@@ -1,0 +1,149 @@
+package isa
+
+import "fmt"
+
+// Exec functionally executes one instruction against the register file and
+// returns the index of the next instruction to execute and whether a branch
+// was taken. Only integer state is computed — SSE instructions affect timing
+// but carry no values the control flow or address generation depend on.
+//
+// pc is the index of inst within its program; branches return inst.Target
+// when taken.
+func Exec(inst *Inst, pc int, regs *RegFile) (next int, taken bool, err error) {
+	next = pc + 1
+	op := inst.Op
+	switch {
+	case op == RET:
+		return -1, false, nil
+	case op == JMP:
+		return inst.Target, true, nil
+	case op.IsCondBranch():
+		t, err := regs.CondTaken(op)
+		if err != nil {
+			return 0, false, err
+		}
+		if t {
+			return inst.Target, true, nil
+		}
+		return next, false, nil
+	case op.IsSSE():
+		return next, false, nil
+	case op == NOP:
+		return next, false, nil
+	}
+
+	// Integer ALU forms: one or two source operands, destination last.
+	srcVal := func(o Operand) (uint64, error) {
+		switch o.Kind {
+		case RegOperand:
+			return regs.Get(o.Reg), nil
+		case ImmOperand:
+			return uint64(o.Imm), nil
+		case MemOperand:
+			if op == LEA {
+				return o.Mem.EffectiveAddress(regs), nil
+			}
+			return 0, fmt.Errorf("isa: integer load from memory in %s", inst)
+		}
+		return 0, fmt.Errorf("isa: bad source operand in %s", inst)
+	}
+
+	switch op {
+	case MOV:
+		v, err := srcVal(inst.A)
+		if err != nil {
+			return 0, false, err
+		}
+		if dst := inst.Dst(); dst.IsReg() {
+			regs.Set(dst.Reg, v)
+		}
+	case LEA:
+		if inst.A.Kind != MemOperand || !inst.Dst().IsReg() {
+			return 0, false, fmt.Errorf("isa: bad lea %s", inst)
+		}
+		regs.Set(inst.Dst().Reg, inst.A.Mem.EffectiveAddress(regs))
+	case ADD, SUB, XOR, AND, IMUL, SHL:
+		dst := inst.Dst()
+		if !dst.IsReg() {
+			return 0, false, fmt.Errorf("isa: %s needs register destination", inst)
+		}
+		var a uint64
+		var err error
+		if inst.NOps == 3 {
+			// imul $imm, %src, %dst
+			if op != IMUL {
+				return 0, false, fmt.Errorf("isa: 3-operand form only for imul: %s", inst)
+			}
+			b, err2 := srcVal(inst.B)
+			if err2 != nil {
+				return 0, false, err2
+			}
+			a, err = srcVal(inst.A)
+			if err != nil {
+				return 0, false, err
+			}
+			regs.Set(dst.Reg, a*b)
+			regs.SetFlags(int64(a * b))
+			return next, false, nil
+		}
+		a, err = srcVal(inst.A)
+		if err != nil {
+			return 0, false, err
+		}
+		d := regs.Get(dst.Reg)
+		var r uint64
+		switch op {
+		case ADD:
+			r = d + a
+		case SUB:
+			r = d - a
+		case XOR:
+			r = d ^ a
+		case AND:
+			r = d & a
+		case IMUL:
+			r = d * a
+		case SHL:
+			r = d << (a & 63)
+		}
+		regs.Set(dst.Reg, r)
+		regs.SetFlags(int64(r))
+	case INC, DEC:
+		dst := inst.Dst()
+		if !dst.IsReg() {
+			return 0, false, fmt.Errorf("isa: %s needs register destination", inst)
+		}
+		d := regs.Get(dst.Reg)
+		if op == INC {
+			d++
+		} else {
+			d--
+		}
+		regs.Set(dst.Reg, d)
+		regs.SetFlags(int64(d))
+	case CMP:
+		// AT&T: cmp src, dst sets flags from dst - src.
+		a, err := srcVal(inst.A)
+		if err != nil {
+			return 0, false, err
+		}
+		b, err := srcVal(inst.B)
+		if err != nil {
+			return 0, false, err
+		}
+		regs.SetFlags(int64(b) - int64(a))
+	case TEST:
+		a, err := srcVal(inst.A)
+		if err != nil {
+			return 0, false, err
+		}
+		b, err := srcVal(inst.B)
+		if err != nil {
+			return 0, false, err
+		}
+		regs.SetFlags(int64(a & b))
+	default:
+		return 0, false, fmt.Errorf("isa: unhandled op %s", inst)
+	}
+	return next, false, nil
+}

@@ -1,0 +1,38 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a decoded program back to AT&T assembly text that
+// internal/asm re-parses to an identical program — the inverse of the
+// assembly front end, used for dumping kernels out of the launcher and for
+// round-trip testing.
+func (p *Program) Print() string {
+	// Labels by target index (invert the map; multiple labels per index
+	// are emitted in sorted order for determinism).
+	labelsAt := map[int][]string{}
+	for name, idx := range p.Labels {
+		labelsAt[idx] = append(labelsAt[idx], name)
+	}
+	for _, names := range labelsAt {
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "    .text\n    .globl %s\n%s:\n", p.Name, p.Name)
+	for i := range p.Insts {
+		for _, l := range labelsAt[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "    %s\n", p.Insts[i].String())
+	}
+	for _, l := range labelsAt[len(p.Insts)] {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	return b.String()
+}

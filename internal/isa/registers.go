@@ -1,0 +1,154 @@
+// Package isa defines the x86-64 subset MicroTools generates and executes:
+// architectural registers, opcodes, operands, decoded programs, and the
+// per-microarchitecture instruction timing tables (µop decomposition, port
+// sets, latencies) consumed by the CPU timing model.
+//
+// The subset covers everything MicroCreator emits (SSE moves and arithmetic,
+// integer induction updates, compare-and-branch loops, Figs. 2, 6, 8, 9 of
+// the paper) and everything the matrix-multiply motivation study needs.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg identifies an architectural register. General-purpose registers come
+// first, then the XMM vector registers, then the pseudo-registers used by the
+// timing model (RIP and FLAGS).
+type Reg uint8
+
+// General-purpose registers (64-bit names; 32-bit forms alias onto them).
+const (
+	RAX Reg = iota
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	RSP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	XMM0
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+	RIP
+	RFLAGS
+	// NumRegs is the total number of register slots tracked by the
+	// dependence model.
+	NumRegs
+	// NoReg marks an absent register (e.g. a memory operand without an
+	// index register).
+	NoReg Reg = 255
+)
+
+// IsGPR reports whether r is one of the 16 general-purpose registers.
+func (r Reg) IsGPR() bool { return r < XMM0 }
+
+// IsXMM reports whether r is one of the 16 XMM vector registers.
+func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM15 }
+
+var gprNames = [...]string{
+	"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// 32-bit aliases, indexed like gprNames.
+var gpr32Names = [...]string{
+	"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+}
+
+// String returns the AT&T syntax name of the register (with % prefix).
+func (r Reg) String() string {
+	switch {
+	case r.IsGPR():
+		return "%" + gprNames[r]
+	case r.IsXMM():
+		return fmt.Sprintf("%%xmm%d", int(r-XMM0))
+	case r == RIP:
+		return "%rip"
+	case r == RFLAGS:
+		return "%rflags"
+	case r == NoReg:
+		return "%none"
+	}
+	return fmt.Sprintf("%%reg(%d)", int(r))
+}
+
+// Name32 returns the 32-bit alias of a general-purpose register (e.g.
+// "%eax" for RAX). For non-GPRs it falls back to String.
+func (r Reg) Name32() string {
+	if r.IsGPR() {
+		return "%" + gpr32Names[r]
+	}
+	return r.String()
+}
+
+// ParseReg parses an AT&T register name, with or without the % prefix.
+// Both 64-bit and 32-bit GPR names are accepted; 32-bit names alias their
+// 64-bit register (the paper's Fig. 9 counts iterations in %eax, which the
+// launcher reads back as the RAX slot).
+func ParseReg(name string) (Reg, error) {
+	n := strings.TrimPrefix(strings.ToLower(strings.TrimSpace(name)), "%")
+	for i, g := range gprNames {
+		if n == g {
+			return Reg(i), nil
+		}
+	}
+	for i, g := range gpr32Names {
+		if n == g {
+			return Reg(i), nil
+		}
+	}
+	if strings.HasPrefix(n, "xmm") {
+		var idx int
+		if _, err := fmt.Sscanf(n, "xmm%d", &idx); err == nil && idx >= 0 && idx < 16 {
+			return XMM0 + Reg(idx), nil
+		}
+	}
+	if n == "rip" {
+		return RIP, nil
+	}
+	return NoReg, fmt.Errorf("isa: unknown register %q", name)
+}
+
+// Is32BitName reports whether the given textual register name (with or
+// without %) is one of the 32-bit GPR aliases. MicroLauncher uses this to
+// honour the paper's "the ABI determines the return value is stored in
+// register %eax" convention when the spec names a 32-bit register.
+func Is32BitName(name string) bool {
+	n := strings.TrimPrefix(strings.ToLower(strings.TrimSpace(name)), "%")
+	for _, g := range gpr32Names {
+		if n == g {
+			return true
+		}
+	}
+	return false
+}
+
+// ArgRegs lists the System V AMD64 integer argument registers in order.
+// MicroLauncher passes the trip count in ArgRegs[0] (%rdi) and the array
+// base pointers in the following registers, matching the paper's kernel
+// prototype int myFunction(int n [, void *...]).
+var ArgRegs = [...]Reg{RDI, RSI, RDX, RCX, R8, R9}

@@ -1,0 +1,52 @@
+package launcher
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVHeader is the column set of MicroLauncher's generic CSV output (§4.3).
+var CSVHeader = []string{
+	"kernel", "mode", "cores", "unit", "value",
+	"min", "median", "mean", "max", "cv",
+	"iterations", "overhead_cycles", "truncated",
+	"energy_j", "avg_watts",
+}
+
+// WriteCSV renders measurements as the launcher's CSV output.
+func WriteCSV(w io.Writer, ms []*Measurement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, m := range ms {
+		row := []string{
+			m.Kernel,
+			m.Mode.String(),
+			strconv.Itoa(m.Cores),
+			m.Unit.String(),
+			f(m.Value),
+			f(m.Summary.Min),
+			f(m.Summary.Median),
+			f(m.Summary.Mean),
+			f(m.Summary.Max),
+			f(m.Summary.CV()),
+			strconv.FormatUint(m.Iterations, 10),
+			f(m.OverheadCycles),
+			fmt.Sprintf("%t", m.Truncated),
+		}
+		if m.Energy != nil {
+			row = append(row, f(m.Energy.TotalJoules), f(m.Energy.AvgWatts))
+		} else {
+			row = append(row, "", "")
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,48 @@
+package launcher
+
+import (
+	"testing"
+
+	"microtools/internal/asm"
+)
+
+// TestLauncherEnergyIntegration: the launcher attaches an estimate when
+// asked, and a RAM-resident run costs more energy per iteration than an
+// L1-resident one (DRAM line energy dominates).
+func TestLauncherEnergyIntegration(t *testing.T) {
+	src := `
+.L0:
+movaps (%rsi), %xmm0
+add $16, %rsi
+add $1, %eax
+sub $4, %rdi
+jge .L0
+ret`
+	prog, err := asm.ParseOne(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(bytes int64) *Measurement {
+		opts := DefaultOptions()
+		opts.MachineName = "nehalem-dual/8"
+		opts.ArrayBytes = bytes
+		opts.InnerReps = 1
+		opts.OuterReps = 2
+		opts.ReportEnergy = true
+		m, err := Launch(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Energy == nil {
+			t.Fatal("energy not attached")
+		}
+		return m
+	}
+	l1 := run(2 << 10)
+	ram := run(3 << 20)
+	perIterL1 := l1.Energy.TotalJoules / float64(l1.Iterations)
+	perIterRAM := ram.Energy.TotalJoules / float64(ram.Iterations)
+	if perIterRAM <= perIterL1 {
+		t.Errorf("RAM energy/iter (%.3g J) not above L1 (%.3g J)", perIterRAM, perIterL1)
+	}
+}

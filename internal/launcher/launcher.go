@@ -1,0 +1,406 @@
+package launcher
+
+import (
+	"fmt"
+
+	"microtools/internal/cpu"
+	"microtools/internal/isa"
+	"microtools/internal/machine"
+	"microtools/internal/memsim"
+	"microtools/internal/openmp"
+	"microtools/internal/power"
+	"microtools/internal/sim"
+	"microtools/internal/stats"
+)
+
+// Measurement is the launcher's result for one kernel under one
+// configuration — one row of the §4.3 CSV output.
+type Measurement struct {
+	Kernel string
+	Mode   Mode
+	Cores  int
+	// Value is the reported number: time per iteration (or per call) in
+	// the configured unit, after the configured statistic across outer
+	// repetitions.
+	Value float64
+	Unit  TimeUnit
+	// Summary holds the distribution across outer repetitions.
+	Summary stats.Summary
+	// Iterations is the per-call loop iteration count the kernel returned
+	// in %eax (§4.4).
+	Iterations uint64
+	// ValuePerElement is Value normalized by the elements each loop
+	// iteration consumes (trip/iterations), the fair metric when ranking
+	// variants with different unroll factors. Zero when unavailable
+	// (truncated runs or whole-call reporting).
+	ValuePerElement float64
+	// OverheadCycles is the calibrated per-call measurement overhead that
+	// was subtracted (§4.5).
+	OverheadCycles float64
+	// Truncated reports that calls stopped at the instruction budget.
+	Truncated bool
+	// Arrays records the allocated base addresses (for reporting).
+	Arrays []uint64
+	// MemStats snapshots the memory system counters over the measured
+	// portion.
+	MemStats memsim.Stats
+	// Energy is the §7 power-model estimate (nil unless requested).
+	Energy *power.Estimate
+}
+
+// NumArraysOf derives how many launcher-provided arrays a kernel consumes:
+// the distinct SysV argument registers (beyond %rdi) it uses as memory
+// bases. This implements the automatic default for the paper's --nbvectors.
+func NumArraysOf(p *isa.Program) int {
+	used := map[isa.Reg]bool{}
+	for i := range p.Insts {
+		if mem, _, ok := p.Insts[i].MemOperand(); ok {
+			if mem.Base != isa.NoReg {
+				used[mem.Base] = true
+			}
+			if mem.Index != isa.NoReg {
+				used[mem.Index] = true
+			}
+		}
+	}
+	n := 0
+	for _, r := range isa.ArgRegs[1:] {
+		if used[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// calibrationProgram is the "empty benchmark" used to measure call
+// overhead.
+func calibrationProgram() *isa.Program {
+	p := &isa.Program{
+		Name: "__calibrate",
+		Insts: []isa.Inst{
+			{Op: isa.XOR, A: isa.NewReg(isa.RAX), B: isa.NewReg(isa.RAX), NOps: 2},
+			{Op: isa.RET},
+		},
+		Labels: map[string]int{},
+	}
+	if err := p.Resolve(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// pinOrder returns the core ids fork processes are pinned to. With socket
+// spreading, processes round-robin across sockets (the typical HPC layout
+// the §5.2.1 saturation study assumes).
+func pinOrder(m *machine.Machine, n int, spread bool) ([]int, error) {
+	if n > m.Cores {
+		return nil, fmt.Errorf("launcher: %d processes on a %d-core machine", n, m.Cores)
+	}
+	out := make([]int, n)
+	if !spread || m.Sockets <= 1 {
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	perSock := m.Cores / m.Sockets
+	for i := range out {
+		out[i] = (i%m.Sockets)*perSock + i/m.Sockets
+	}
+	return out, nil
+}
+
+// Launch measures one kernel program under the given options.
+func Launch(prog *isa.Program, opts Options) (*Measurement, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	desc, err := machine.ByName(opts.MachineName)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := sim.New(desc)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CoreFrequencyGHz > 0 {
+		if err := mach.SetCoreFrequency(opts.CoreFrequencyGHz); err != nil {
+			return nil, err
+		}
+	}
+	if !opts.DisableInterrupts {
+		mach.SetNoise(sim.DefaultNoise(opts.NoiseSeed))
+	}
+	return launchOn(mach, prog, opts)
+}
+
+// launchOn runs the protocol against an existing machine instance (exposed
+// for the experiment harness, which reuses machines across sweeps).
+func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
+	desc := mach.Desc
+	logf := func(format string, args ...any) {
+		if opts.Verbose != nil {
+			fmt.Fprintf(opts.Verbose, format+"\n", args...)
+		}
+	}
+
+	nArrays := opts.NBVectors
+	if nArrays == 0 {
+		nArrays = NumArraysOf(prog)
+	}
+	if nArrays > len(isa.ArgRegs)-1 {
+		return nil, fmt.Errorf("launcher: kernel needs %d arrays, max %d", nArrays, len(isa.ArgRegs)-1)
+	}
+
+	nCores := 1
+	var pins []int
+	var err error
+	switch opts.Mode {
+	case Sequential:
+		if opts.PinCore < 0 || opts.PinCore >= desc.Cores {
+			return nil, fmt.Errorf("launcher: pin core %d outside machine (%d cores)", opts.PinCore, desc.Cores)
+		}
+		pins = []int{opts.PinCore}
+	case Fork, OpenMP:
+		nCores = opts.Cores
+		pins, err = pinOrder(desc, nCores, opts.SpreadSockets)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Allocate the data arrays: per process for Fork (independent
+	// processes), shared for Sequential/OpenMP.
+	space := memsim.NewAddressSpace()
+	allocSet := func() ([]uint64, error) {
+		bases := make([]uint64, nArrays)
+		for i := range bases {
+			var off int64
+			if i < len(opts.Alignments) {
+				off = opts.Alignments[i]
+			}
+			b, err := space.Alloc(opts.ArrayBytes, opts.AlignWindow, off)
+			if err != nil {
+				return nil, err
+			}
+			bases[i] = b
+		}
+		return bases, nil
+	}
+
+	procArrays := make([][]uint64, nCores)
+	if opts.Mode == Fork {
+		for i := range procArrays {
+			if procArrays[i], err = allocSet(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		shared, err := allocSet()
+		if err != nil {
+			return nil, err
+		}
+		for i := range procArrays {
+			procArrays[i] = shared
+		}
+	}
+
+	trip := opts.TripElements
+	if trip == 0 {
+		trip = opts.ArrayBytes / opts.ElementBytes
+	}
+	if trip <= 0 {
+		return nil, fmt.Errorf("launcher: non-positive trip count")
+	}
+
+	regsFor := func(bases []uint64, n int64, baseShift uint64) isa.RegFile {
+		var rf isa.RegFile
+		if opts.TripExact {
+			rf.Set(isa.RDI, uint64(n))
+		} else {
+			rf.Set(isa.RDI, uint64(n-1))
+		}
+		for i, b := range bases {
+			rf.Set(isa.ArgRegs[1+i], b+baseShift)
+		}
+		return rf
+	}
+
+	// Warm-up (§4.5): touch every array's footprint on its core.
+	if opts.Warmup {
+		for i, core := range pins {
+			for _, b := range procArrays[i] {
+				mach.Touch(core, b, opts.ArrayBytes)
+			}
+		}
+		logf("warmup done at machine cycle %d", mach.Now())
+	}
+
+	// Calibration (§4.5): time the empty kernel.
+	overhead := 0.0
+	if opts.Calibrate {
+		cal := calibrationProgram()
+		var rf isa.RegFile
+		res, err := mach.RunOne(sim.Job{Core: pins[0], Prog: cal, Regs: rf})
+		if err != nil {
+			return nil, err
+		}
+		overhead = float64(res.Cycles)
+		logf("calibrated overhead: %.0f cycles/call", overhead)
+	}
+
+	meas := &Measurement{
+		Kernel:         prog.Name,
+		Mode:           opts.Mode,
+		Cores:          nCores,
+		Unit:           opts.TimeUnit,
+		OverheadCycles: overhead,
+	}
+	for _, bases := range procArrays[:1] {
+		meas.Arrays = append(meas.Arrays, bases...)
+	}
+
+	mach.Sys.ResetStats()
+	samples := make([]float64, 0, opts.OuterReps)
+	var iterations uint64
+	var totalMix cpu.Mix
+	var totalInsts int64
+	var totalCycles float64
+
+	for rep := 0; rep < opts.OuterReps; rep++ {
+		var perCallCycles float64
+		var repIters uint64
+		switch opts.Mode {
+		case Sequential, Fork:
+			var total float64
+			for inner := 0; inner < opts.InnerReps; inner++ {
+				jobs := make([]sim.Job, len(pins))
+				for i, core := range pins {
+					jobs[i] = sim.Job{
+						Core:     core,
+						Prog:     prog,
+						Regs:     regsFor(procArrays[i], trip, 0),
+						MaxInsts: opts.MaxInstructions,
+					}
+				}
+				rs, err := mach.Run(jobs)
+				if err != nil {
+					return nil, err
+				}
+				// Average across processes (Fig. 14 reports average
+				// cycles per iteration across the forked cores).
+				var sum float64
+				for _, r := range rs {
+					sum += float64(r.Cycles)
+					totalMix.Add(r.Mix)
+					totalInsts += r.Insts
+					if r.Truncated {
+						meas.Truncated = true
+					}
+					repIters = rs[0].EAX
+				}
+				total += sum / float64(len(rs))
+			}
+			perCallCycles = total/float64(opts.InnerReps) - overhead
+		case OpenMP:
+			cfg := openmp.DefaultConfig(nCores)
+			if s := opts.OMPOverheadScale; s > 0 && s != 1 {
+				cfg.ForkCycles = int64(float64(cfg.ForkCycles) * s)
+				cfg.WakeupPerThread = int64(float64(cfg.WakeupPerThread) * s)
+				cfg.JoinCycles = int64(float64(cfg.JoinCycles) * s)
+				cfg.JoinPerThread = int64(float64(cfg.JoinPerThread) * s)
+				cfg.DispatchCycles = int64(float64(cfg.DispatchCycles) * s)
+			}
+			if opts.OMPDynamic {
+				cfg.StaticChunking = false
+				if opts.OMPChunkElements > 0 {
+					cfg.ChunkElements = opts.OMPChunkElements
+				}
+			}
+			var total float64
+			for inner := 0; inner < opts.InnerReps; inner++ {
+				sub := cfg
+				if inner > 0 {
+					// The thread team persists across repetitions (as
+					// libgomp's pool does): later regions skip the fork
+					// and pay only the barrier.
+					sub.ForkCycles = 0
+					sub.WakeupPerThread = 0
+				}
+				res, err := openmp.ParallelFor(mach, sub, pins, trip,
+					func(thread int, chunkStart, chunkLen int64) (sim.Job, error) {
+						shift := uint64(chunkStart * opts.ElementBytes)
+						return sim.Job{
+							Core:     pins[thread],
+							Prog:     prog,
+							Regs:     regsFor(procArrays[thread], chunkLen, shift),
+							MaxInsts: opts.MaxInstructions,
+						}, nil
+					})
+				if err != nil {
+					return nil, err
+				}
+				total += float64(res.RegionCycles)
+				repIters += res.Iterations
+				totalMix.Add(res.Mix)
+				totalInsts += res.Insts
+				if res.Truncated {
+					meas.Truncated = true
+				}
+			}
+			repIters /= uint64(opts.InnerReps)
+			perCallCycles = total/float64(opts.InnerReps) - overhead
+		}
+		if perCallCycles < 0 {
+			perCallCycles = 0
+		}
+		totalCycles += perCallCycles * float64(opts.InnerReps)
+		iterations = repIters
+		value := perCallCycles
+		if opts.PerIteration {
+			if repIters == 0 {
+				return nil, fmt.Errorf("launcher: kernel %q returned 0 iterations in %%eax; add the Fig. 9 counter or set PerIteration=false", prog.Name)
+			}
+			value /= float64(repIters)
+		}
+		// Unit conversion.
+		switch opts.TimeUnit {
+		case UnitTSC:
+			value *= desc.RefGHz / mach.CoreFrequency()
+		case UnitSeconds:
+			value /= mach.CoreFrequency() * 1e9
+		}
+		samples = append(samples, value)
+		logf("rep %d: %.4f %s", rep, value, opts.TimeUnit)
+	}
+
+	meas.Iterations = iterations
+	meas.Summary = stats.Summarize(samples)
+	meas.Value = opts.Statistic.Of(meas.Summary)
+	meas.MemStats = mach.Sys.Stats()
+	if opts.PerIteration && !meas.Truncated && iterations > 0 {
+		if perIter := float64(trip) / float64(iterations); perIter > 0 {
+			meas.ValuePerElement = meas.Value / perIter
+		}
+	}
+	if opts.ReportEnergy {
+		model := power.DefaultServerModel(desc.CoreGHz)
+		seconds := totalCycles / (mach.CoreFrequency() * 1e9)
+		est, err := model.Estimate(totalMix, meas.MemStats, totalInsts, seconds, mach.CoreFrequency())
+		if err != nil {
+			return nil, err
+		}
+		meas.Energy = &est
+	}
+	return meas, nil
+}
+
+// LaunchOn runs the protocol on a caller-provided machine (for sweeps that
+// must share or control machine state). The machine's noise/frequency
+// settings are respected; opts.MachineName is ignored.
+func LaunchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return launchOn(mach, prog, opts)
+}

@@ -1,0 +1,378 @@
+package launcher
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"microtools/internal/asm"
+	"microtools/internal/isa"
+	"microtools/internal/stats"
+)
+
+// kernelSrc builds a u-unrolled load kernel with the Fig. 9 %eax counter.
+func kernelSrc(u int, op string, width int) string {
+	var b strings.Builder
+	b.WriteString(".L0:\n")
+	reg := "%%xmm%d"
+	for c := 0; c < u; c++ {
+		fmt.Fprintf(&b, op+" %d(%%rsi), "+reg+"\n", width*c, c%8)
+	}
+	fmt.Fprintf(&b, "add $%d, %%rsi\n", width*u)
+	b.WriteString("add $1, %eax\n")
+	fmt.Fprintf(&b, "sub $%d, %%rdi\n", (width/4)*u)
+	b.WriteString("jge .L0\nret\n")
+	return b.String()
+}
+
+func parse(t *testing.T, src, name string) *isa.Program {
+	t.Helper()
+	p, err := asm.ParseOne(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func defaultTestOptions() Options {
+	o := DefaultOptions()
+	o.MachineName = "nehalem-dual/8"
+	o.ArrayBytes = 16 << 10
+	o.InnerReps = 2
+	o.OuterReps = 3
+	return o
+}
+
+func TestSequentialMeasurement(t *testing.T) {
+	p := parse(t, kernelSrc(8, "movaps", 16), "k8")
+	m, err := Launch(p, defaultTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel != "k8" || m.Mode != Sequential || m.Cores != 1 {
+		t.Errorf("measurement meta = %+v", m)
+	}
+	// 16KB of floats = 4096 elements, 32 consumed per iteration.
+	if m.Iterations != 128 {
+		t.Errorf("iterations = %d, want 128", m.Iterations)
+	}
+	// L2-resident (16KB array vs 4KB L1): between ~1 and ~12 TSC
+	// cycles/iter-per-load×8 — sanity band.
+	if m.Value < 5 || m.Value > 120 {
+		t.Errorf("cycles/iter = %.2f outside sanity band", m.Value)
+	}
+	if m.OverheadCycles <= 0 {
+		t.Error("calibration did not run")
+	}
+}
+
+// TestStabilityOfProtocol is the §4.7 acceptance check: with the full
+// protocol (warmup, pinning, interrupts off) the CV across repetitions is
+// tiny; with noise enabled and no warmup it grows.
+func TestStabilityOfProtocol(t *testing.T) {
+	p := parse(t, kernelSrc(4, "movaps", 16), "k")
+	stable := defaultTestOptions()
+	stable.OuterReps = 5
+	m1, err := Launch(p, stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := m1.Summary.CV(); cv > 0.02 {
+		t.Errorf("protocol run CV = %.4f, want < 2%%", cv)
+	}
+	noisy := stable
+	noisy.DisableInterrupts = false
+	noisy.Warmup = false
+	noisy.NoiseSeed = 99
+	m2, err := Launch(p, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Summary.CV() <= m1.Summary.CV() {
+		t.Errorf("noisy CV %.4f not above protocol CV %.4f", m2.Summary.CV(), m1.Summary.CV())
+	}
+}
+
+// TestUnrollSweepShape reproduces the Fig. 11 single-level shape through
+// the full launcher stack: cycles/load decreases with unroll in L1.
+func TestUnrollSweepShape(t *testing.T) {
+	opts := defaultTestOptions()
+	opts.ArrayBytes = 2 << 10 // half of the scaled 4KB L1
+	perLoad := map[int]float64{}
+	for _, u := range []int{1, 8} {
+		p := parse(t, kernelSrc(u, "movaps", 16), fmt.Sprintf("k%d", u))
+		m, err := Launch(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perLoad[u] = m.Value / float64(u)
+	}
+	if perLoad[8] >= perLoad[1] {
+		t.Errorf("unroll did not help: u1=%.2f u8=%.2f cycles/load", perLoad[1], perLoad[8])
+	}
+}
+
+func TestForkModeScalesAndContends(t *testing.T) {
+	opts := defaultTestOptions()
+	opts.Mode = Fork
+	opts.ArrayBytes = 256 << 10 // beyond the scaled 1.5MB/8=... L3? keep RAM-ish per core
+	opts.InnerReps = 1
+	opts.OuterReps = 2
+	run := func(cores int) float64 {
+		opts.Cores = cores
+		p := parse(t, kernelSrc(8, "movaps", 16), "k")
+		m, err := Launch(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cores != cores {
+			t.Errorf("cores = %d, want %d", m.Cores, cores)
+		}
+		return m.Value
+	}
+	one := run(1)
+	twelve := run(12)
+	if twelve <= one {
+		t.Errorf("12-way fork (%.2f) not slower per iteration than 1-way (%.2f)", twelve, one)
+	}
+}
+
+func TestOpenMPModeBeatsSequentialOnLargeArrays(t *testing.T) {
+	opts := defaultTestOptions()
+	opts.ArrayBytes = 512 << 10
+	opts.MaxInstructions = 2_000_000
+	opts.PerIteration = false
+	opts.InnerReps = 1
+	opts.OuterReps = 2
+	p := parse(t, kernelSrc(4, "movss", 4), "k")
+	seq, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp := opts
+	omp.Mode = OpenMP
+	omp.Cores = 4
+	pm, err := Launch(p, omp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Value >= seq.Value {
+		t.Errorf("OpenMP whole-call time %.0f not below sequential %.0f", pm.Value, seq.Value)
+	}
+}
+
+func TestAlignmentChangesAllocation(t *testing.T) {
+	opts := defaultTestOptions()
+	opts.Alignments = []int64{64}
+	p := parse(t, kernelSrc(1, "movss", 4), "k")
+	m, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Arrays) != 1 || m.Arrays[0]%4096 != 64 {
+		t.Errorf("array base %#x not at alignment offset 64", m.Arrays)
+	}
+}
+
+func TestPerIterationRequiresEaxCounter(t *testing.T) {
+	// A kernel without the Fig. 9 counter cannot report cycles/iteration.
+	src := ".L0:\nmovss (%rsi), %xmm0\nadd $4, %rsi\nsub $1, %rdi\njge .L0\nret\n"
+	p := parse(t, src, "nocounter")
+	opts := defaultTestOptions()
+	if _, err := Launch(p, opts); err == nil {
+		t.Error("expected an error for a kernel without the eax protocol")
+	}
+	opts.PerIteration = false
+	if _, err := Launch(p, opts); err != nil {
+		t.Errorf("whole-call mode should work without the counter: %v", err)
+	}
+}
+
+func TestNumArraysOf(t *testing.T) {
+	two := ".L0:\nmovss (%rsi), %xmm0\nmovss (%rdx), %xmm1\nadd $4, %rsi\nadd $4, %rdx\nadd $1, %eax\nsub $1, %rdi\njge .L0\nret\n"
+	p := parse(t, two, "two")
+	if got := NumArraysOf(p); got != 2 {
+		t.Errorf("NumArraysOf = %d, want 2", got)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	p := parse(t, kernelSrc(2, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.TimeUnit = UnitCoreCycles
+	core, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TimeUnit = UnitSeconds
+	secs, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSecs := core.Value / (2.67 * 1e9)
+	if secs.Value < wantSecs*0.99 || secs.Value > wantSecs*1.01 {
+		t.Errorf("seconds %.3g inconsistent with core cycles %.3g", secs.Value, core.Value)
+	}
+	opts.TimeUnit = UnitTSC
+	opts.CoreFrequencyGHz = 1.335 // half nominal: TSC = 2x core cycles
+	tsc, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsc.Value < core.Value {
+		t.Errorf("TSC at half frequency (%.2f) should exceed nominal core cycles (%.2f)", tsc.Value, core.Value)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	p := parse(t, kernelSrc(1, "movss", 4), "k")
+	bad := defaultTestOptions()
+	bad.Alignments = []int64{5000}
+	if _, err := Launch(p, bad); err == nil {
+		t.Error("alignment beyond window accepted")
+	}
+	bad2 := defaultTestOptions()
+	bad2.MachineName = "z80"
+	if _, err := Launch(p, bad2); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	bad3 := defaultTestOptions()
+	bad3.Mode = Fork
+	bad3.Cores = 1000
+	if _, err := Launch(p, bad3); err == nil {
+		t.Error("1000-core fork on a 12-core machine accepted")
+	}
+	bad4 := defaultTestOptions()
+	bad4.PinCore = 64
+	if _, err := Launch(p, bad4); err == nil {
+		t.Error("pin to nonexistent core accepted")
+	}
+}
+
+func TestParsersAndStrings(t *testing.T) {
+	if m, err := ParseMode("fork"); err != nil || m != Fork {
+		t.Error("ParseMode fork failed")
+	}
+	if _, err := ParseMode("threads"); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if u, err := ParseTimeUnit("seconds"); err != nil || u != UnitSeconds {
+		t.Error("ParseTimeUnit seconds failed")
+	}
+	if _, err := ParseTimeUnit("ms"); err == nil {
+		t.Error("bad unit accepted")
+	}
+	if Sequential.String() != "sequential" || UnitTSC.String() != "tsc-cycles" {
+		t.Error("String() values wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := parse(t, kernelSrc(2, "movaps", 16), "k")
+	m, err := Launch(p, defaultTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Measurement{m}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "kernel,mode,cores,unit,value") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "k,sequential,1,tsc-cycles,") {
+		t.Errorf("CSV row missing: %s", out)
+	}
+}
+
+func TestStatisticSelection(t *testing.T) {
+	p := parse(t, kernelSrc(2, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.Statistic = stats.StatMax
+	mMax, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mMax.Value != mMax.Summary.Max {
+		t.Errorf("StatMax not honored: %v vs %v", mMax.Value, mMax.Summary.Max)
+	}
+}
+
+// TestTruncatedMeasurement: instruction-budgeted runs report steady-state
+// cycles/iteration close to the full run.
+func TestTruncatedMeasurement(t *testing.T) {
+	p := parse(t, kernelSrc(8, "movaps", 16), "k")
+	full := defaultTestOptions()
+	fullM, err := Launch(p, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := full
+	trunc.MaxInstructions = 500
+	truncM, err := Launch(p, trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncM.Truncated {
+		t.Error("truncation not reported")
+	}
+	ratio := truncM.Value / fullM.Value
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("truncated estimate %.2f too far from full %.2f", truncM.Value, fullM.Value)
+	}
+}
+
+// TestOpenMPDynamicSchedule: the launcher's schedule(dynamic) path runs and
+// covers the trip like static.
+func TestOpenMPDynamicSchedule(t *testing.T) {
+	p := parse(t, kernelSrc(2, "movss", 4), "k")
+	opts := defaultTestOptions()
+	opts.Mode = OpenMP
+	opts.Cores = 4
+	opts.MachineName = "sandybridge/8"
+	opts.ArrayBytes = 64 << 10
+	opts.InnerReps = 1
+	opts.OuterReps = 2
+	static, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.OMPDynamic = true
+	opts.OMPChunkElements = 1024
+	dynamic, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.Iterations != static.Iterations {
+		t.Errorf("dynamic covered %d iterations, static %d", dynamic.Iterations, static.Iterations)
+	}
+	// On a quiet machine dynamic pays only dispatch overhead.
+	if dynamic.Value > static.Value*1.6 {
+		t.Errorf("dynamic %.3f far above static %.3f on balanced work", dynamic.Value, static.Value)
+	}
+}
+
+// TestCSVEnergyColumns: energy columns render when requested.
+func TestCSVEnergyColumns(t *testing.T) {
+	p := parse(t, kernelSrc(2, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.ReportEnergy = true
+	m, err := Launch(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Measurement{m}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], "energy_j,avg_watts") {
+		t.Errorf("header missing energy columns: %s", lines[0])
+	}
+	fields := strings.Split(lines[1], ",")
+	if fields[len(fields)-1] == "" || fields[len(fields)-2] == "" {
+		t.Errorf("energy fields empty: %s", lines[1])
+	}
+}

@@ -1,0 +1,146 @@
+// Package matmul builds the paper's §2 motivation workload: the naive
+// matrix multiplication of Fig. 1, whose GCC -O3 inner loop is shown in
+// Fig. 2. It provides
+//
+//   - Full(unroll): the complete triple-nested kernel in the MicroTools
+//     assembly subset, with the inner (k) loop unrolled 1..8 — the "actual
+//     code" side of Fig. 5;
+//   - InnerSpec(stride): the MicroCreator XML description of the inner
+//     loop's load-multiply-accumulate pattern — run through the pass
+//     pipeline it yields the "micro-benchmark equivalent" side of Fig. 5.
+//
+// Calling convention (§4.4): %rdi = N (TripExact), %rsi = A (result),
+// %rdx = B, %rcx = C, each an N×N row-major array of float64. %eax returns
+// the executed inner-loop iteration count.
+package matmul
+
+import (
+	"fmt"
+	"strings"
+
+	"microtools/internal/asm"
+	"microtools/internal/isa"
+)
+
+// MaxUnroll is the largest supported inner-loop unroll factor.
+const MaxUnroll = 8
+
+// Source renders the triple-nested naive matmul with the inner loop
+// unrolled u times. The inner loop body follows Fig. 2's instruction
+// pattern (movsd load, mulsd with memory operand, addsd accumulate); the
+// single-accumulator dependence is preserved across unroll copies, exactly
+// as a naive source-level unroll keeps it — which is why the paper sees
+// only a ~9% gain from unrolling (§2).
+func Source(u int) (string, error) {
+	if u < 1 || u > MaxUnroll {
+		return "", fmt.Errorf("matmul: unroll %d outside [1,%d]", u, MaxUnroll)
+	}
+	var b strings.Builder
+	name := Name(u)
+	fmt.Fprintf(&b, "    .text\n    .globl %s\n    .type %s, @function\n%s:\n", name, name, name)
+	b.WriteString(`    xor %eax, %eax
+    mov %rdi, %r11
+    shl $3, %r11            # row stride in bytes
+    mov %rsi, %r12          # result walker (A)
+    mov %rdx, %r13          # B row base
+    xor %r10, %r10          # i = 0
+.Li:
+    xor %r9, %r9            # j = 0
+.Lj:
+    xorps %xmm1, %xmm1      # accumulator
+    xor %rbx, %rbx          # k = 0
+    lea (%rcx,%r9,8), %r8   # &C[0*N + j]
+.Lk:
+`)
+	for c := 0; c < u; c++ {
+		reg := fmt.Sprintf("%%xmm%d", 2+c%6)
+		fmt.Fprintf(&b, "    movsd %d(%%r13,%%rbx,8), %s\n", 8*c, reg)
+		fmt.Fprintf(&b, "    mulsd (%%r8), %s\n", reg)
+		b.WriteString("    add %r11, %r8\n")
+		fmt.Fprintf(&b, "    addsd %s, %%xmm1\n", reg)
+	}
+	fmt.Fprintf(&b, "    add $%d, %%eax\n", u)
+	fmt.Fprintf(&b, "    add $%d, %%rbx\n", u)
+	b.WriteString(`    cmp %rdi, %rbx
+    jl .Lk
+    movsd %xmm1, (%r12)
+    add $8, %r12
+    add $1, %r9
+    cmp %rdi, %r9
+    jl .Lj
+    add %r11, %r13
+    add $1, %r10
+    cmp %rdi, %r10
+    jl .Li
+    ret
+`)
+	return b.String(), nil
+}
+
+// Name returns the kernel symbol for an unroll factor.
+func Name(u int) string {
+	if u == 1 {
+		return "matmul_naive"
+	}
+	return fmt.Sprintf("matmul_u%d", u)
+}
+
+// Full parses the generated source into an executable program.
+func Full(u int) (*isa.Program, error) {
+	src, err := Source(u)
+	if err != nil {
+		return nil, err
+	}
+	return asm.ParseOne(src, Name(u))
+}
+
+// InnerSpec is the MicroCreator kernel description abstracting the Fig. 2
+// inner loop: a movsd load from the streaming B row, a mulsd against the
+// column-strided C walk, and an addsd into a pinned accumulator, with the
+// unroll range of Fig. 5. rowStrideBytes is N*8, the C column step.
+func InnerSpec(rowStrideBytes int64, maxUnroll int) string {
+	return fmt.Sprintf(`
+<kernel name="matmul_inner">
+  <description>Fig. 2 inner loop as a MicroCreator template (Fig. 5)</description>
+  <element_size>8</element_size>
+  <instruction>
+    <operation>movsd</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%%xmm</phyName><min>2</min><max>8</max></register>
+  </instruction>
+  <instruction>
+    <operation>mulsd</operation>
+    <memory><register><name>r2</name></register><offset>0</offset></memory>
+    <register><phyName>%%xmm</phyName><min>2</min><max>8</max></register>
+  </instruction>
+  <instruction>
+    <operation>addsd</operation>
+    <register><phyName>%%xmm</phyName><min>2</min><max>8</max></register>
+    <register><phyName>%%xmm1</phyName></register>
+  </instruction>
+  <unrolling><min>1</min><max>%d</max></unrolling>
+  <induction>
+    <register><name>r1</name></register>
+    <increment>8</increment>
+    <offset>8</offset>
+  </induction>
+  <induction>
+    <register><name>r2</name></register>
+    <increment>%d</increment>
+    <offset>%d</offset>
+  </induction>
+  <induction>
+    <!-- plain (unroll-scaled) counter: +u per loop iteration, i.e. it
+         counts multiply-adds, matching the full kernel's protocol -->
+    <register><phyName>%%eax</phyName></register>
+    <increment>1</increment>
+  </induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <branch_information><label>.Lk</label><test>jge</test></branch_information>
+</kernel>`, maxUnroll, rowStrideBytes, rowStrideBytes)
+}

@@ -1,0 +1,47 @@
+package memsim
+
+import "fmt"
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// AddressSpace is the simulated process address space from which
+// MicroLauncher allocates kernel data arrays. It is a simple bump allocator
+// with page-granular placement plus the per-array alignment offsets the
+// launcher's alignment studies sweep (§4, §5.2.2).
+type AddressSpace struct {
+	next uint64
+}
+
+// NewAddressSpace starts the heap at a fixed, page-aligned base so runs are
+// reproducible.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: 0x10000000}
+}
+
+// Alloc reserves size bytes. The returned base address is congruent to
+// offset modulo align (align must be a power of two; offset < align).
+// A fresh page gap separates allocations so arrays never share lines by
+// accident — exactly what a real launcher's mmap-per-array placement gives.
+func (a *AddressSpace) Alloc(size int64, align int64, offset int64) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("memsim: allocation size must be positive, got %d", size)
+	}
+	if align <= 0 {
+		align = PageSize
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("memsim: alignment %d not a power of two", align)
+	}
+	if offset < 0 || offset >= align {
+		return 0, fmt.Errorf("memsim: offset %d outside [0,%d)", offset, align)
+	}
+	// Round up to the next page, then to alignment, then add the offset.
+	base := (a.next + PageSize - 1) &^ uint64(PageSize-1)
+	if r := base % uint64(align); r != 0 {
+		base += uint64(align) - r
+	}
+	base += uint64(offset)
+	a.next = base + uint64(size) + PageSize // guard page
+	return base, nil
+}

@@ -1,0 +1,248 @@
+// Package passes implements MicroCreator's source-to-source compiler
+// pipeline (§3.2): nineteen independent passes that progressively lower and
+// multiply an abstract ir.Kernel into a set of concrete benchmark programs.
+//
+// Unlike general compiler passes, "the passes in MicroCreator are entirely
+// independent" — each consumes and produces a flat variant set, and each has
+// a gate function a plugin may override to disable, enable or re-sequence it
+// (§3.3).
+package passes
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"microtools/internal/codegen"
+	"microtools/internal/ir"
+)
+
+// Context carries pipeline-wide state. A fresh Context is used per Run.
+type Context struct {
+	// Seed seeds the random-select pass (kernels may override with their
+	// own <random_selection><seed>).
+	Seed int64
+	// EmitAssembly / EmitC select the output formats produced by the emit
+	// pass. Assembly defaults to on.
+	EmitAssembly bool
+	EmitC        bool
+	// Verbose, when non-nil, receives per-pass progress lines.
+	Verbose io.Writer
+	// Programs receives the emit pass output.
+	Programs []codegen.Program
+
+	rng *rand.Rand
+}
+
+// RNG returns the context's seeded random source.
+func (c *Context) RNG() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Seed))
+	}
+	return c.rng
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// GateFunc decides whether a pass executes ("the function returning a
+// boolean deciding whether or not to execute the pass", §3.3).
+type GateFunc func(*Context) bool
+
+// RunFunc transforms a variant set.
+type RunFunc func(*Context, []*ir.Kernel) ([]*ir.Kernel, error)
+
+// Pass is one pipeline stage.
+type Pass struct {
+	Name string
+	// Doc is a one-line description shown by microcreator -list-passes.
+	Doc  string
+	Gate GateFunc
+	Run  RunFunc
+}
+
+// AlwaysGate is the default gate: "Most internal passes are performed
+// because their gates always return true" (§3.3).
+func AlwaysGate(*Context) bool { return true }
+
+// NeverGate disables a pass.
+func NeverGate(*Context) bool { return false }
+
+// Manager owns the ordered pass list. Plugins mutate it through the
+// methods below — the Go equivalent of the paper's pluginInit API.
+type Manager struct {
+	passes []*Pass
+}
+
+// NewManager returns a manager loaded with the nineteen default passes.
+func NewManager() *Manager {
+	m := &Manager{}
+	for _, p := range defaultPasses() {
+		m.passes = append(m.passes, p)
+	}
+	return m
+}
+
+// NewEmptyManager returns a manager with no passes (for plugins that build
+// a custom pipeline from scratch).
+func NewEmptyManager() *Manager { return &Manager{} }
+
+// Passes returns the pass list in execution order.
+func (m *Manager) Passes() []*Pass { return append([]*Pass(nil), m.passes...) }
+
+// Names returns the pass names in execution order.
+func (m *Manager) Names() []string {
+	out := make([]string, len(m.passes))
+	for i, p := range m.passes {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Lookup returns the pass with the given name, or nil.
+func (m *Manager) Lookup(name string) *Pass {
+	for _, p := range m.passes {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func (m *Manager) index(name string) int {
+	for i, p := range m.passes {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Replace swaps the named pass for p, keeping its position ("A user may
+// replace or rewrite any of the internal passes", §3.3).
+func (m *Manager) Replace(name string, p *Pass) error {
+	i := m.index(name)
+	if i < 0 {
+		return fmt.Errorf("passes: no pass named %q", name)
+	}
+	if err := checkPass(p); err != nil {
+		return err
+	}
+	m.passes[i] = p
+	return nil
+}
+
+// Remove deletes the named pass.
+func (m *Manager) Remove(name string) error {
+	i := m.index(name)
+	if i < 0 {
+		return fmt.Errorf("passes: no pass named %q", name)
+	}
+	m.passes = append(m.passes[:i], m.passes[i+1:]...)
+	return nil
+}
+
+// InsertBefore inserts p before the named pass.
+func (m *Manager) InsertBefore(name string, p *Pass) error {
+	return m.insert(name, p, 0)
+}
+
+// InsertAfter inserts p after the named pass.
+func (m *Manager) InsertAfter(name string, p *Pass) error {
+	return m.insert(name, p, 1)
+}
+
+func (m *Manager) insert(name string, p *Pass, delta int) error {
+	i := m.index(name)
+	if i < 0 {
+		return fmt.Errorf("passes: no pass named %q", name)
+	}
+	if err := checkPass(p); err != nil {
+		return err
+	}
+	if m.index(p.Name) >= 0 {
+		return fmt.Errorf("passes: pass %q already registered", p.Name)
+	}
+	i += delta
+	m.passes = append(m.passes[:i], append([]*Pass{p}, m.passes[i:]...)...)
+	return nil
+}
+
+// Append adds p at the end of the pipeline.
+func (m *Manager) Append(p *Pass) error {
+	if err := checkPass(p); err != nil {
+		return err
+	}
+	if m.index(p.Name) >= 0 {
+		return fmt.Errorf("passes: pass %q already registered", p.Name)
+	}
+	m.passes = append(m.passes, p)
+	return nil
+}
+
+// SetGate overrides the gate of the named pass (§3.3: "MicroCreator also
+// permits a redefinition of any pass gate").
+func (m *Manager) SetGate(name string, gate GateFunc) error {
+	p := m.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("passes: no pass named %q", name)
+	}
+	if gate == nil {
+		return fmt.Errorf("passes: nil gate for %q", name)
+	}
+	p.Gate = gate
+	return nil
+}
+
+func checkPass(p *Pass) error {
+	if p == nil || p.Name == "" || p.Run == nil {
+		return fmt.Errorf("passes: pass must have a name and a run function")
+	}
+	if p.Gate == nil {
+		p.Gate = AlwaysGate
+	}
+	return nil
+}
+
+// Run executes the pipeline over the initial kernel set and returns the
+// final variant set. Emitted programs accumulate in ctx.Programs.
+func (m *Manager) Run(ctx *Context, kernels []*ir.Kernel) ([]*ir.Kernel, error) {
+	if ctx == nil {
+		ctx = &Context{EmitAssembly: true}
+	}
+	ks := kernels
+	for _, p := range m.passes {
+		if p.Gate != nil && !p.Gate(ctx) {
+			ctx.logf("pass %-22s skipped (gate)", p.Name)
+			continue
+		}
+		var err error
+		before := len(ks)
+		ks, err = p.Run(ctx, ks)
+		if err != nil {
+			return nil, fmt.Errorf("passes: %s: %w", p.Name, err)
+		}
+		ks = applyVariantCap(ks)
+		ctx.logf("pass %-22s %4d -> %4d kernels", p.Name, before, len(ks))
+	}
+	return ks, nil
+}
+
+// applyVariantCap enforces each kernel family's MaxVariants budget ("The
+// user can limit the number of benchmark programs if it is superfluous",
+// §3.2). The cap applies per BaseName, keeping the earliest variants.
+func applyVariantCap(ks []*ir.Kernel) []*ir.Kernel {
+	counts := map[string]int{}
+	out := ks[:0]
+	for _, k := range ks {
+		if k.MaxVariants > 0 && counts[k.BaseName] >= k.MaxVariants {
+			continue
+		}
+		counts[k.BaseName]++
+		out = append(out, k)
+	}
+	return out
+}

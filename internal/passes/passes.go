@@ -1,0 +1,844 @@
+package passes
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"microtools/internal/codegen"
+	"microtools/internal/ir"
+	"microtools/internal/isa"
+)
+
+// expansionLimit bounds the total number of kernels a single fan-out pass
+// may produce, as a runaway guard for adversarial specs.
+const expansionLimit = 1 << 20
+
+// defaultPasses builds the nineteen default passes of §3.2 in pipeline
+// order.
+func defaultPasses() []*Pass {
+	mk := func(name, doc string, run RunFunc) *Pass {
+		return &Pass{Name: name, Doc: doc, Gate: AlwaysGate, Run: run}
+	}
+	passes := []*Pass{
+		mk("validate", "check spec-level kernel invariants", passValidate),
+		mk("repeat-instructions", "expand per-instruction repetition ranges", passRepeat),
+		mk("random-select", "seeded random instruction selection", passRandomSelect),
+		mk("select-instructions", "expand move semantics into concrete opcodes", passSelectInstructions),
+		mk("select-strides", "one variant per induction stride choice", passSelectStrides),
+		mk("select-immediates", "one variant per immediate choice", passSelectImmediates),
+		mk("swap-before-unroll", "load/store operand swap before unrolling", passSwapBeforeUnroll),
+		mk("unroll", "unroll the kernel across the requested range", passUnroll),
+		mk("swap-after-unroll", "per-copy load/store operand swap", passSwapAfterUnroll),
+		mk("rotate-registers", "assign rotating vector registers per copy", passRotateRegisters),
+		mk("allocate-registers", "map logical registers to physical ones", passAllocateRegisters),
+		mk("link-inductions", "scale induction increments by unroll and width", passLinkInductions),
+		mk("insert-inductions", "materialize induction updates in the body", passInsertInductions),
+		mk("schedule", "interleave loads and stores (off by default)", passSchedule),
+		mk("insert-branch", "finalize the loop label and branch", passInsertBranch),
+		mk("prologue-epilogue", "finalize names, prologue zeroing, dedupe", passPrologue),
+		mk("align-code", "request loop-top code alignment", passAlignCode),
+		mk("verify", "post-pipeline invariant checks", passVerify),
+		mk("emit", "render assembly and/or C programs", passEmit),
+	}
+	// The schedule pass is present but gated off by default, mirroring the
+	// paper's optional passes ("A user may modify it so as not to always
+	// execute the pass", §3.3).
+	passes[13].Gate = NeverGate
+	return passes
+}
+
+// expandAll repeatedly applies f to kernels until it reports no further
+// expansion (returns nil). Deterministic depth-first order.
+func expandAll(ks []*ir.Kernel, f func(*ir.Kernel) ([]*ir.Kernel, error)) ([]*ir.Kernel, error) {
+	var out []*ir.Kernel
+	queue := append([]*ir.Kernel(nil), ks...)
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		vs, err := f(k)
+		if err != nil {
+			return nil, err
+		}
+		if vs == nil {
+			out = append(out, k)
+			if len(out) > expansionLimit {
+				return nil, fmt.Errorf("variant explosion beyond %d kernels", expansionLimit)
+			}
+			continue
+		}
+		queue = append(append([]*ir.Kernel(nil), vs...), queue...)
+		if len(queue) > expansionLimit {
+			return nil, fmt.Errorf("variant explosion beyond %d kernels", expansionLimit)
+		}
+	}
+	return out, nil
+}
+
+// cloneInstr deep-copies an instruction for duplication within the same
+// kernel: rotating registers get fresh objects (each copy rotates
+// independently); allocated/logical registers stay shared.
+func cloneInstr(in ir.Instruction) ir.Instruction {
+	ni := in
+	if in.Move != nil {
+		mv := *in.Move
+		ni.Move = &mv
+	}
+	ni.Operands = make([]ir.Operand, len(in.Operands))
+	for i, o := range in.Operands {
+		no := o
+		if o.Reg != nil && o.Reg.IsRotating() {
+			r := *o.Reg
+			no.Reg = &r
+		}
+		no.ImmChoices = append([]int64(nil), o.ImmChoices...)
+		ni.Operands[i] = no
+	}
+	return ni
+}
+
+// ---- pass 1: validate -----------------------------------------------------
+
+func passValidate(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 2: repeat-instructions ------------------------------------------
+
+func passRepeat(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Body {
+			rep := k.Body[i].Repeat
+			if rep.Singleton() && rep.Min == 1 {
+				continue
+			}
+			var vs []*ir.Kernel
+			for c := rep.Min; c <= rep.Max; c++ {
+				v := k.Clone()
+				inst := v.Body[i]
+				inst.Repeat = ir.Range{Min: 1, Max: 1}
+				expanded := make([]ir.Instruction, 0, len(v.Body)+c-1)
+				expanded = append(expanded, v.Body[:i]...)
+				for j := 0; j < c; j++ {
+					ni := cloneInstr(inst)
+					// Each repetition is its own copy for register
+					// rotation, so repeated instructions draw distinct
+					// rotating registers (independent chains).
+					ni.Copy = j
+					expanded = append(expanded, ni)
+				}
+				expanded = append(expanded, v.Body[i+1:]...)
+				v.Body = expanded
+				v.Tag(fmt.Sprintf("rep%d", i), fmt.Sprintf("%d", c))
+				vs = append(vs, v)
+			}
+			return vs, nil
+		}
+		return nil, nil
+	})
+}
+
+// ---- pass 3: random-select -------------------------------------------------
+
+func passRandomSelect(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	var out []*ir.Kernel
+	for _, k := range ks {
+		if k.RandomCount <= 0 {
+			out = append(out, k)
+			continue
+		}
+		seed := k.RandomSeed
+		if seed == 0 {
+			seed = ctx.Seed
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for v := 0; v < k.RandomCount; v++ {
+			nk := k.Clone()
+			nk.RandomCount = 0
+			body := make([]ir.Instruction, len(nk.Body))
+			for i := range body {
+				body[i] = cloneInstr(nk.Body[rng.Intn(len(nk.Body))])
+			}
+			nk.Body = body
+			nk.Tag("rand", fmt.Sprintf("%d", v))
+			out = append(out, nk)
+		}
+	}
+	return out, nil
+}
+
+// ---- pass 4: select-instructions -------------------------------------------
+
+// moveCandidates enumerates the concrete mnemonics matching the abstract
+// move semantics (§3.1: "aligned versus non-aligned instructions or using
+// vectorized or scalar instructions").
+func moveCandidates(mv *ir.MoveSemantics) ([]string, error) {
+	var precisions []string
+	switch mv.Precision {
+	case "single":
+		precisions = []string{"single"}
+	case "double":
+		precisions = []string{"double"}
+	case "":
+		precisions = []string{"single", "double"}
+	}
+	var out []string
+	for _, p := range precisions {
+		switch mv.Bytes {
+		case 4:
+			if p == "single" {
+				out = append(out, "movss")
+			}
+		case 8:
+			if p == "double" {
+				out = append(out, "movsd")
+			}
+		case 16:
+			aligned, unaligned := "movaps", "movups"
+			if p == "double" {
+				aligned, unaligned = "movapd", "movupd"
+			}
+			switch mv.Aligned {
+			case "aligned":
+				out = append(out, aligned)
+			case "unaligned":
+				out = append(out, unaligned)
+			case "both":
+				out = append(out, aligned, unaligned)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("move semantics %+v match no instruction", *mv)
+	}
+	return out, nil
+}
+
+func passSelectInstructions(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Body {
+			if k.Body[i].Move == nil {
+				continue
+			}
+			cands, err := moveCandidates(k.Body[i].Move)
+			if err != nil {
+				return nil, fmt.Errorf("kernel %q instruction %d: %w", k.BaseName, i, err)
+			}
+			var vs []*ir.Kernel
+			for _, op := range cands {
+				v := k.Clone()
+				v.Body[i].Op = op
+				v.Body[i].Move = nil
+				v.Tag(fmt.Sprintf("i%d", i), op)
+				vs = append(vs, v)
+			}
+			return vs, nil
+		}
+		return nil, nil
+	})
+}
+
+// ---- pass 5: select-strides -------------------------------------------------
+
+func passSelectStrides(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Inductions {
+			choices := k.Inductions[i].IncrementChoices
+			if len(choices) == 0 {
+				continue
+			}
+			var vs []*ir.Kernel
+			for _, c := range choices {
+				v := k.Clone()
+				v.Inductions[i].Increment = c
+				v.Inductions[i].IncrementChoices = nil
+				v.Tag(fmt.Sprintf("stride%d", i), fmt.Sprintf("%d", c))
+				vs = append(vs, v)
+			}
+			return vs, nil
+		}
+		return nil, nil
+	})
+}
+
+// ---- pass 6: select-immediates ----------------------------------------------
+
+func passSelectImmediates(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Body {
+			for j := range k.Body[i].Operands {
+				o := &k.Body[i].Operands[j]
+				if o.Kind != ir.ImmOperand || len(o.ImmChoices) == 0 {
+					continue
+				}
+				var vs []*ir.Kernel
+				for _, c := range o.ImmChoices {
+					v := k.Clone()
+					v.Body[i].Operands[j].Imm = c
+					v.Body[i].Operands[j].ImmChoices = nil
+					v.Tag(fmt.Sprintf("imm%d_%d", i, j), fmt.Sprintf("%d", c))
+					vs = append(vs, v)
+				}
+				return vs, nil
+			}
+		}
+		return nil, nil
+	})
+}
+
+// ---- passes 7 & 9: operand swaps ---------------------------------------------
+
+// swapInstr reverses a two-operand move between a memory reference and a
+// register, turning a load into a store or vice versa.
+func swapInstr(in *ir.Instruction) bool {
+	if len(in.Operands) != 2 {
+		return false
+	}
+	a, b := in.Operands[0].Kind, in.Operands[1].Kind
+	if (a == ir.MemOperand && b == ir.RegOperand) || (a == ir.RegOperand && b == ir.MemOperand) {
+		in.Operands[0], in.Operands[1] = in.Operands[1], in.Operands[0]
+		return true
+	}
+	return false
+}
+
+func passSwapBeforeUnroll(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Body {
+			if !k.Body[i].SwapBeforeUnroll {
+				continue
+			}
+			orig := k.Clone()
+			orig.Body[i].SwapBeforeUnroll = false
+			swapped := k.Clone()
+			swapped.Body[i].SwapBeforeUnroll = false
+			if !swapInstr(&swapped.Body[i]) {
+				// Not swappable: keep only the original.
+				return []*ir.Kernel{orig}, nil
+			}
+			return []*ir.Kernel{orig, swapped}, nil
+		}
+		return nil, nil
+	})
+}
+
+func passSwapAfterUnroll(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	return expandAll(ks, func(k *ir.Kernel) ([]*ir.Kernel, error) {
+		for i := range k.Body {
+			if !k.Body[i].SwapAfterUnroll {
+				continue
+			}
+			orig := k.Clone()
+			orig.Body[i].SwapAfterUnroll = false
+			swapped := k.Clone()
+			swapped.Body[i].SwapAfterUnroll = false
+			if !swapInstr(&swapped.Body[i]) {
+				return []*ir.Kernel{orig}, nil
+			}
+			return []*ir.Kernel{orig, swapped}, nil
+		}
+		return nil, nil
+	})
+}
+
+// ---- pass 8: unroll -----------------------------------------------------------
+
+func passUnroll(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	var out []*ir.Kernel
+	for _, k := range ks {
+		if k.Unroll != 0 {
+			return nil, fmt.Errorf("kernel %q already unrolled", k.Name)
+		}
+		// Pre-existing copy indices (from instruction repetition) compose
+		// with the unroll index so every copy rotates distinctly.
+		width := 1
+		for i := range k.Body {
+			if k.Body[i].Copy >= width {
+				width = k.Body[i].Copy + 1
+			}
+		}
+		for u := k.UnrollRange.Min; u <= k.UnrollRange.Max; u++ {
+			v := k.Clone()
+			v.Unroll = u
+			body := make([]ir.Instruction, 0, len(v.Body)*u)
+			for c := 0; c < u; c++ {
+				for i := range v.Body {
+					ni := cloneInstr(v.Body[i])
+					ni.Copy = c*width + v.Body[i].Copy
+					if c > 0 {
+						for j := range ni.Operands {
+							o := &ni.Operands[j]
+							if o.Kind != ir.MemOperand {
+								continue
+							}
+							if ind := v.InductionFor(o.Reg); ind != nil {
+								o.Offset += int64(c) * ind.Offset
+							}
+						}
+					}
+					body = append(body, ni)
+				}
+			}
+			v.Body = body
+			v.Tag("u", fmt.Sprintf("%d", u))
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// ---- pass 10: rotate-registers ---------------------------------------------
+
+// passRotateRegisters assigns rotating vector registers per unroll copy:
+// every rotating operand of copy c gets index min + c mod (max-min), so a
+// load/compute/store group within one copy shares its register while
+// successive copies use different ones ("generate a different XMM register
+// per unrolling iteration ... reduces register dependency", §3.1).
+func passRotateRegisters(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		for i := range k.Body {
+			for j := range k.Body[i].Operands {
+				r := k.Body[i].Operands[j].Reg
+				if r == nil || !r.IsRotating() {
+					continue
+				}
+				n := r.RotRange.Max - r.RotRange.Min
+				if n <= 0 {
+					return nil, fmt.Errorf("kernel %q: empty rotation range on %s", k.Name, r)
+				}
+				r.RotIdx = r.RotRange.Min + k.Body[i].Copy%n
+			}
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 11: allocate-registers ---------------------------------------------
+
+// passAllocateRegisters implements the "hardware detection system" of §3.1:
+// the loop counter (last_induction) gets %rdi, where MicroLauncher passes
+// the trip count; memory base registers get the remaining SysV argument
+// registers in first-use order (so the launcher's allocated arrays land in
+// them); other logical registers draw from a scratch pool.
+func passAllocateRegisters(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		used := map[isa.Reg]bool{}
+		for _, r := range k.Registers() {
+			if !r.IsRotating() && r.Phys != isa.NoReg {
+				used[r.Phys] = true
+			}
+		}
+		take := func(pool []isa.Reg) (isa.Reg, bool) {
+			for _, r := range pool {
+				if !used[r] {
+					used[r] = true
+					return r, true
+				}
+			}
+			return isa.NoReg, false
+		}
+
+		// 1. Loop counter.
+		for i := range k.Inductions {
+			ind := &k.Inductions[i]
+			if ind.Last && ind.Reg.Phys == isa.NoReg && !ind.Reg.IsRotating() {
+				if used[isa.RDI] {
+					return nil, fmt.Errorf("kernel %q: %%rdi already taken; cannot place loop counter %s", k.Name, ind.Reg)
+				}
+				ind.Reg.Phys = isa.RDI
+				used[isa.RDI] = true
+			}
+		}
+		// 2. Memory bases, in first-use order.
+		argPool := isa.ArgRegs[1:]
+		for i := range k.Body {
+			for j := range k.Body[i].Operands {
+				o := &k.Body[i].Operands[j]
+				if o.Kind != ir.MemOperand || o.Reg.IsRotating() || o.Reg.Phys != isa.NoReg {
+					continue
+				}
+				r, ok := take(argPool[:])
+				if !ok {
+					return nil, fmt.Errorf("kernel %q: out of argument registers for memory base %s (max %d arrays)", k.Name, o.Reg, len(argPool))
+				}
+				o.Reg.Phys = r
+			}
+		}
+		// 3. Everything else.
+		scratch := []isa.Reg{isa.R10, isa.R11, isa.RBX, isa.R12, isa.R13, isa.R14, isa.R15}
+		for _, r := range k.Registers() {
+			if r.IsRotating() || r.Phys != isa.NoReg {
+				continue
+			}
+			phys, ok := take(scratch)
+			if !ok {
+				return nil, fmt.Errorf("kernel %q: out of scratch registers for %s", k.Name, r)
+			}
+			r.Phys = phys
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 12: link-inductions -------------------------------------------------
+
+// instrWidthFor returns the memory width (bytes) of the first instruction
+// addressing through reg.
+func instrWidthFor(k *ir.Kernel, reg *ir.Register) (int, error) {
+	for i := range k.Body {
+		in := &k.Body[i]
+		for _, o := range in.Operands {
+			if o.Kind == ir.MemOperand && o.Reg == reg {
+				op, err := isa.ParseOp(in.Op)
+				if err != nil {
+					return 0, err
+				}
+				return op.MemWidth(), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("no instruction addresses through %s", reg)
+}
+
+// passLinkInductions scales induction increments for the chosen unroll
+// factor (§4.4 / Fig. 8): a plain induction scales by the unroll factor
+// (add $48 for 3×16); a linked induction additionally scales by the data
+// elements each copy of the linked instruction moves (sub $12 = 1 × 3 copies
+// × 4 elements per 16-byte movaps at 4-byte element size); a
+// not_affected_unroll induction is untouched (Fig. 9's iteration counter).
+func passLinkInductions(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		u := k.Unroll
+		if u == 0 {
+			u = 1
+		}
+		es := k.ElementSize
+		if es <= 0 {
+			es = 4
+		}
+		for i := range k.Inductions {
+			ind := &k.Inductions[i]
+			if ind.Scaled {
+				return nil, fmt.Errorf("kernel %q: induction %d scaled twice", k.Name, i)
+			}
+			ind.Scaled = true
+			if ind.NotAffectedUnroll {
+				continue
+			}
+			if ind.LinkedTo != nil {
+				w, err := instrWidthFor(k, ind.LinkedTo)
+				if err != nil {
+					return nil, fmt.Errorf("kernel %q: linked induction %d: %w", k.Name, i, err)
+				}
+				elems := w / es
+				if elems < 1 {
+					elems = 1
+				}
+				ind.Increment *= int64(u) * int64(elems)
+				continue
+			}
+			ind.Increment *= int64(u)
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 13: insert-inductions -------------------------------------------------
+
+// passInsertInductions materializes the induction updates. The
+// last_induction is emitted last — immediately before the branch — because
+// the conditional jump tests the flags its update sets; any other induction
+// update (e.g. Fig. 9's iteration counter) would clobber them.
+func passInsertInductions(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		order := make([]*ir.Induction, 0, len(k.Inductions))
+		var last *ir.Induction
+		for i := range k.Inductions {
+			if k.Inductions[i].Last {
+				last = &k.Inductions[i]
+				continue
+			}
+			order = append(order, &k.Inductions[i])
+		}
+		if last != nil {
+			order = append(order, last)
+		}
+		for _, ind := range order {
+			if ind.Increment == 0 {
+				continue
+			}
+			op, imm := "add", ind.Increment
+			if imm < 0 {
+				op, imm = "sub", -imm
+			}
+			k.Body = append(k.Body, ir.Instruction{
+				Op: op,
+				Operands: []ir.Operand{
+					{Kind: ir.ImmOperand, Imm: imm},
+					{Kind: ir.RegOperand, Reg: ind.Reg},
+				},
+				Repeat: ir.Range{Min: 1, Max: 1},
+			})
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 14: schedule (gated off by default) -----------------------------------
+
+// passSchedule interleaves memory instructions with non-memory instructions
+// round-robin, a simple list-scheduling strategy users can enable through
+// the gate (§3.3) to study frontend/scheduler effects.
+func passSchedule(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		var mem, other []ir.Instruction
+		// Only the unrolled kernel body proper (before induction updates,
+		// which must stay last) is reordered; induction updates were
+		// appended by insert-inductions which runs earlier, so identify
+		// them as trailing integer add/sub on induction registers.
+		tail := 0
+		for i := len(k.Body) - 1; i >= 0; i-- {
+			in := k.Body[i]
+			if (in.Op == "add" || in.Op == "sub") && len(in.Operands) == 2 &&
+				in.Operands[0].Kind == ir.ImmOperand {
+				tail++
+				continue
+			}
+			break
+		}
+		bodyEnd := len(k.Body) - tail
+		for _, in := range k.Body[:bodyEnd] {
+			hasMem := false
+			for _, o := range in.Operands {
+				if o.Kind == ir.MemOperand {
+					hasMem = true
+				}
+			}
+			if hasMem {
+				mem = append(mem, in)
+			} else {
+				other = append(other, in)
+			}
+		}
+		if len(other) == 0 {
+			continue
+		}
+		var mixed []ir.Instruction
+		for i := 0; i < len(mem) || i < len(other); i++ {
+			if i < len(mem) {
+				mixed = append(mixed, mem[i])
+			}
+			if i < len(other) {
+				mixed = append(mixed, other[i])
+			}
+		}
+		k.Body = append(mixed, k.Body[bodyEnd:]...)
+		k.Tag("sched", "interleave")
+	}
+	return ks, nil
+}
+
+// ---- pass 15: insert-branch --------------------------------------------------
+
+func passInsertBranch(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		if k.Branch.Label == "" {
+			k.Branch.Label = ".L0"
+		}
+		if !strings.HasPrefix(k.Branch.Label, ".") {
+			k.Branch.Label = "." + k.Branch.Label
+		}
+		op, err := isa.ParseOp(k.Branch.Test)
+		if err != nil || !op.IsCondBranch() {
+			return nil, fmt.Errorf("kernel %q: branch test %q is not a conditional jump", k.Name, k.Branch.Test)
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 16: prologue-epilogue ------------------------------------------------
+
+// loadStorePattern renders the per-copy load/store pattern of the body
+// ("LSL" = load, store, load), the distinguishing signature the operand
+// swap passes create.
+func loadStorePattern(k *ir.Kernel) string {
+	var b strings.Builder
+	for _, in := range k.Body {
+		if len(in.Operands) != 2 {
+			continue
+		}
+		a, c := in.Operands[0].Kind, in.Operands[1].Kind
+		switch {
+		case a == ir.MemOperand && c == ir.RegOperand:
+			b.WriteByte('L')
+		case a == ir.RegOperand && c == ir.MemOperand:
+			b.WriteByte('S')
+		}
+	}
+	return b.String()
+}
+
+func sanitizeSymbol(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == '-':
+			b.WriteByte('m') // negative numbers in tag values
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func passPrologue(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	seen := map[string]bool{}
+	var out []*ir.Kernel
+	for _, k := range ks {
+		// Prologue zeroing: pinned induction registers that are neither
+		// the loop counter nor a data pointer (no memory operand uses
+		// them as a base) are iteration counters the launcher reads back
+		// (Fig. 9) and must start at zero.
+		k.ZeroAtEntry = nil
+		memBases := map[*ir.Register]bool{}
+		for i := range k.Body {
+			for _, o := range k.Body[i].Operands {
+				if o.Kind == ir.MemOperand {
+					memBases[o.Reg] = true
+				}
+			}
+		}
+		for i := range k.Inductions {
+			ind := &k.Inductions[i]
+			if !ind.Last && ind.Reg.Pinned && !memBases[ind.Reg] {
+				k.ZeroAtEntry = append(k.ZeroAtEntry, ind.Reg)
+			}
+		}
+		// Variant naming: base + unroll + load/store pattern + remaining
+		// distinguishing tags (instruction selection, strides, ...).
+		parts := []string{sanitizeSymbol(k.BaseName)}
+		if k.Unroll > 0 {
+			parts = append(parts, fmt.Sprintf("u%d", k.Unroll))
+		}
+		if pat := loadStorePattern(k); pat != "" {
+			parts = append(parts, pat)
+		}
+		if len(k.Tags) > 0 {
+			keys := make([]string, 0, len(k.Tags))
+			for key := range k.Tags {
+				if key == "u" {
+					continue
+				}
+				keys = append(keys, key)
+			}
+			for i := 1; i < len(keys); i++ {
+				for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+					keys[j], keys[j-1] = keys[j-1], keys[j]
+				}
+			}
+			for _, key := range keys {
+				parts = append(parts, sanitizeSymbol(key+k.Tags[key]))
+			}
+		}
+		name := strings.Join(parts, "_")
+		if seen[name] {
+			// Content-identical variant (e.g. swap-before + swap-after
+			// overlap, §3.2); drop it.
+			continue
+		}
+		seen[name] = true
+		k.Name = name
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ---- pass 17: align-code -------------------------------------------------------
+
+func passAlignCode(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		if k.CodeAlign == 0 {
+			k.CodeAlign = 16
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 18: verify -----------------------------------------------------------
+
+func passVerify(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		if k.Unroll < 1 {
+			return nil, fmt.Errorf("kernel %q: not unrolled", k.Name)
+		}
+		hasLast := false
+		for _, ind := range k.Inductions {
+			if ind.Last {
+				hasLast = true
+			}
+		}
+		if !hasLast {
+			return nil, fmt.Errorf("kernel %q: no last_induction loop counter", k.Name)
+		}
+		for i, in := range k.Body {
+			if in.Op == "" {
+				return nil, fmt.Errorf("kernel %q: instruction %d still abstract", k.Name, i)
+			}
+			if _, err := isa.ParseOp(in.Op); err != nil {
+				return nil, fmt.Errorf("kernel %q: instruction %d: %w", k.Name, i, err)
+			}
+			if len(in.Operands) == 0 || len(in.Operands) > 3 {
+				return nil, fmt.Errorf("kernel %q: instruction %d has %d operands", k.Name, i, len(in.Operands))
+			}
+			for j, o := range in.Operands {
+				if o.Kind == ir.ImmOperand {
+					if len(o.ImmChoices) > 0 {
+						return nil, fmt.Errorf("kernel %q: instruction %d operand %d has unexpanded immediates", k.Name, i, j)
+					}
+					continue
+				}
+				if _, err := o.Reg.Resolved(); err != nil {
+					return nil, fmt.Errorf("kernel %q: instruction %d operand %d: %w", k.Name, i, j, err)
+				}
+				if o.Reg.IsRotating() {
+					if o.Reg.RotIdx < o.Reg.RotRange.Min || o.Reg.RotIdx >= o.Reg.RotRange.Max {
+						return nil, fmt.Errorf("kernel %q: instruction %d operand %d rotation index %d outside [%d,%d)",
+							k.Name, i, j, o.Reg.RotIdx, o.Reg.RotRange.Min, o.Reg.RotRange.Max)
+					}
+				}
+			}
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 19: emit -------------------------------------------------------------
+
+func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	for _, k := range ks {
+		prog := codegen.Program{Name: k.Name, Kernel: k}
+		if ctx.EmitAssembly {
+			asm, err := codegen.Assembly(k)
+			if err != nil {
+				return nil, err
+			}
+			prog.Assembly = asm
+		}
+		if ctx.EmitC {
+			c, err := codegen.CSource(k)
+			if err != nil {
+				return nil, err
+			}
+			prog.CSource = c
+		}
+		ctx.Programs = append(ctx.Programs, prog)
+	}
+	return ks, nil
+}

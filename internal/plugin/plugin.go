@@ -1,0 +1,108 @@
+// Package plugin is the Go rendition of MicroCreator's plugin system
+// (§3.3), which in the paper resembles GCC's dynamic-library plugins: a
+// user provides a library exporting pluginInit, through which they may
+// "add, remove, or modify a pass without recompiling the system" and
+// redefine any pass gate.
+//
+// Go programs cannot portably dlopen arbitrary shared objects offline, so
+// plugins register through this package instead (at init time or
+// programmatically) and are applied to a passes.Manager by name. The
+// semantics — full access to the pass pipeline, no tool recompilation for
+// embedders — are preserved; see DESIGN.md for the substitution note.
+package plugin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"microtools/internal/passes"
+)
+
+// Plugin modifies a pass manager. PluginInit is the entry point the paper
+// requires of every plugin ("The user must provide an initialization
+// function named pluginInit").
+type Plugin interface {
+	Name() string
+	PluginInit(m *passes.Manager) error
+}
+
+// Func adapts a plain function to the Plugin interface.
+type Func struct {
+	PluginName string
+	Init       func(m *passes.Manager) error
+}
+
+// Name implements Plugin.
+func (f Func) Name() string { return f.PluginName }
+
+// PluginInit implements Plugin.
+func (f Func) PluginInit(m *passes.Manager) error { return f.Init(m) }
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Plugin{}
+)
+
+// Register adds a plugin to the global registry. Registering a second
+// plugin under an existing name is an error.
+func Register(p Plugin) error {
+	if p == nil || p.Name() == "" {
+		return fmt.Errorf("plugin: plugin must have a name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := registry[p.Name()]; ok {
+		return fmt.Errorf("plugin: %q already registered", p.Name())
+	}
+	registry[p.Name()] = p
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(p Plugin) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a plugin by name (primarily for tests).
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(registry, name)
+}
+
+// Lookup returns the registered plugin with the given name.
+func Lookup(name string) (Plugin, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names lists registered plugin names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply runs PluginInit of each named plugin against the manager, in order.
+func Apply(m *passes.Manager, names ...string) error {
+	for _, n := range names {
+		p, ok := Lookup(n)
+		if !ok {
+			return fmt.Errorf("plugin: no plugin named %q (registered: %v)", n, Names())
+		}
+		if err := p.PluginInit(m); err != nil {
+			return fmt.Errorf("plugin: %s: pluginInit: %w", n, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microtools/internal/cpu"
+	"microtools/internal/memsim"
+)
+
+func TestEstimateBasics(t *testing.T) {
+	m := DefaultServerModel(2.67)
+	mix := cpu.Mix{Loads: 1000, Stores: 500, IntALU: 2000, Branches: 1000}
+	mem := memsim.Stats{L2Hits: 100, MemAccesses: 10, Writebacks: 5}
+	e, err := m.Estimate(mix, mem, 4500, 1e-6, 2.67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DynamicJoules <= 0 || e.StaticJoules <= 0 {
+		t.Errorf("estimate = %+v", e)
+	}
+	if e.TotalJoules != e.DynamicJoules+e.StaticJoules {
+		t.Error("total != dynamic + static")
+	}
+	if e.AvgWatts <= m.StaticWatts {
+		t.Errorf("average watts %.2f must exceed static %.2f", e.AvgWatts, m.StaticWatts)
+	}
+	if e.EnergyDelayProduct != e.TotalJoules*1e-6 {
+		t.Error("EDP wrong")
+	}
+}
+
+func TestEstimateRejectsNonPositiveTime(t *testing.T) {
+	m := DefaultServerModel(2.67)
+	if _, err := m.Estimate(cpu.Mix{}, memsim.Stats{}, 0, 0, 2.67); err == nil {
+		t.Error("zero time accepted")
+	}
+}
+
+// TestFrequencyScaling: at a lower frequency the same work costs less
+// dynamic energy per event (V² scaling) but runs longer, so static energy
+// grows — the classic race-to-idle trade-off the §7 power studies probe.
+func TestFrequencyScaling(t *testing.T) {
+	m := DefaultServerModel(2.67)
+	mix := cpu.Mix{Loads: 100000, IntALU: 100000}
+	fast, err := m.Estimate(mix, memsim.Stats{}, 200000, 100e-6, 2.67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same work at half frequency takes twice as long.
+	slow, err := m.Estimate(mix, memsim.Stats{}, 200000, 200e-6, 1.335)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.DynamicJoules >= fast.DynamicJoules {
+		t.Errorf("dynamic energy did not drop at lower voltage: %.3g vs %.3g",
+			slow.DynamicJoules, fast.DynamicJoules)
+	}
+	if slow.StaticJoules <= fast.StaticJoules {
+		t.Errorf("static energy did not grow with time: %.3g vs %.3g",
+			slow.StaticJoules, fast.StaticJoules)
+	}
+	if slow.AvgWatts >= fast.AvgWatts {
+		t.Error("average power did not drop at lower frequency")
+	}
+}
+
+// Property: energy is monotone in every event count.
+func TestPropertyMonotoneInEvents(t *testing.T) {
+	m := DefaultServerModel(2.67)
+	f := func(loads, l3 uint16) bool {
+		base, err := m.Estimate(cpu.Mix{Loads: int64(loads)},
+			memsim.Stats{L3Hits: int64(l3)}, int64(loads), 1e-6, 2.67)
+		if err != nil {
+			return false
+		}
+		more, err := m.Estimate(cpu.Mix{Loads: int64(loads) + 1},
+			memsim.Stats{L3Hits: int64(l3) + 1}, int64(loads)+1, 1e-6, 2.67)
+		if err != nil {
+			return false
+		}
+		return more.TotalJoules > base.TotalJoules
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package sim ties the core pipeline model (internal/cpu) and the memory
+// system (internal/memsim) into a whole simulated machine: multiple cores
+// advancing in bounded lock-step quanta over shared L3s and memory
+// controllers, DVFS frequency points with a constant-rate TSC, and the
+// environmental noise sources (timer interrupts, cold caches) whose
+// suppression is MicroLauncher's whole purpose (§4.7).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"microtools/internal/cpu"
+	"microtools/internal/isa"
+	"microtools/internal/machine"
+	"microtools/internal/memsim"
+)
+
+// quantum is the lock-step window in core cycles. Cores never run further
+// than this apart, bounding cross-core ordering error on the shared memory
+// structures.
+const quantum = 64
+
+// NoiseConfig models the "system's global environmental issues" of §4.7:
+// periodic timer interrupts that steal cycles and evict cache lines.
+// MicroLauncher disables them ("disables interruptions") for measured runs.
+type NoiseConfig struct {
+	Enabled bool
+	Seed    int64
+	// IntervalCycles is the mean core-cycle distance between interrupts.
+	IntervalCycles int64
+	// CostCycles is the stall per interrupt.
+	CostCycles int64
+	// CacheDisturbFraction of the core's private cache lines are evicted
+	// per interrupt.
+	CacheDisturbFraction float64
+}
+
+// DefaultNoise returns a noise profile that visibly perturbs unprotected
+// runs (scaled to the simulator's shortened experiment lengths).
+func DefaultNoise(seed int64) NoiseConfig {
+	return NoiseConfig{
+		Enabled:              true,
+		Seed:                 seed,
+		IntervalCycles:       40000,
+		CostCycles:           6000,
+		CacheDisturbFraction: 0.3,
+	}
+}
+
+// Machine is a live simulated machine instance.
+type Machine struct {
+	Desc *machine.Machine
+	Sys  *memsim.System
+
+	coreGHz float64
+	noise   NoiseConfig
+	rng     *rand.Rand
+
+	// now is the machine's monotonic core-cycle clock. Warm-up traffic and
+	// successive runs all advance it, so shared memory-system timestamps
+	// (MSHRs, channel queues) never sit in a job's future.
+	now int64
+}
+
+// New instantiates the machine at its nominal frequency with noise off.
+func New(desc *machine.Machine) (*Machine, error) {
+	sys, err := desc.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Desc: desc, Sys: sys, coreGHz: desc.CoreGHz}, nil
+}
+
+// SetNoise configures the environmental noise sources.
+func (m *Machine) SetNoise(cfg NoiseConfig) {
+	m.noise = cfg
+	if cfg.Enabled {
+		m.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+}
+
+// Noise returns the current noise configuration.
+func (m *Machine) Noise() NoiseConfig { return m.noise }
+
+// SetCoreFrequency moves every core to the given DVFS point. The uncore
+// (L3, memory) stays at its own frequency — the split behind Fig. 13.
+func (m *Machine) SetCoreFrequency(ghz float64) error {
+	if ghz <= 0 {
+		return fmt.Errorf("sim: core frequency must be positive")
+	}
+	m.coreGHz = ghz
+	return m.Sys.SetCoreClockRatio(ghz / m.Desc.UncoreGHz)
+}
+
+// CoreFrequency returns the active core frequency in GHz.
+func (m *Machine) CoreFrequency() float64 { return m.coreGHz }
+
+// TSCCycles converts core cycles to constant-rate TSC reference cycles at
+// the active frequency (rdtsc "is independent on the frequency", §5.1).
+func (m *Machine) TSCCycles(coreCycles int64) float64 {
+	return float64(coreCycles) * m.Desc.RefGHz / m.coreGHz
+}
+
+// Seconds converts core cycles to wall-clock seconds at the active
+// frequency.
+func (m *Machine) Seconds(coreCycles int64) float64 {
+	return float64(coreCycles) / (m.coreGHz * 1e9)
+}
+
+// Now returns the machine's monotonic clock in core cycles.
+func (m *Machine) Now() int64 { return m.now }
+
+// Touch streams the byte range through a core's caches without pipeline
+// timing — MicroLauncher's warm-up step ("the instruction and data caches
+// are filled with the kernel's data by calling the benchmark function
+// once", §4.5).
+func (m *Machine) Touch(core int, base uint64, size int64) {
+	line := m.Desc.Hierarchy.L1.LineSize
+	cycle := m.now
+	for off := int64(0); off < size; off += line {
+		cycle = m.Sys.Load(core, base+uint64(off), 8, cycle)
+	}
+	m.now = cycle
+}
+
+// Job is one kernel invocation pinned to a core.
+type Job struct {
+	// Core is the hardware core to run on.
+	Core int
+	Prog *isa.Program
+	// Regs is the initial architectural state (trip count in %rdi, array
+	// bases in the argument registers, per §4.4).
+	Regs isa.RegFile
+	// MaxInsts bounds dynamic instructions (0 = unlimited).
+	MaxInsts int64
+	// StartCycle delays the job (fork staggering); jobs synchronize on
+	// the machine clock.
+	StartCycle int64
+}
+
+// JobResult reports one finished invocation.
+type JobResult struct {
+	cpu.Result
+	// EAX is the architectural %eax/%rax at exit — the executed iteration
+	// count under the §4.4 protocol.
+	EAX uint64
+	// EndCycle is the machine cycle at which the job finished.
+	EndCycle int64
+}
+
+// Run executes the jobs concurrently in lock-step quanta and returns their
+// results in job order. Jobs on the same core are rejected.
+func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sim: no jobs")
+	}
+	seen := map[int]bool{}
+	cores := make([]*cpu.Core, len(jobs))
+	nextIRQ := make([]int64, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Core < 0 || j.Core >= m.Desc.Cores {
+			return nil, fmt.Errorf("sim: job %d pinned to core %d of %d", i, j.Core, m.Desc.Cores)
+		}
+		if seen[j.Core] {
+			return nil, fmt.Errorf("sim: two jobs pinned to core %d", j.Core)
+		}
+		seen[j.Core] = true
+		start := m.now + j.StartCycle
+		cores[i] = cpu.NewCore(j.Core, m.Desc.Arch, m.Sys)
+		if err := cores[i].Reset(j.Prog, &j.Regs, start, j.MaxInsts); err != nil {
+			return nil, err
+		}
+		if m.noise.Enabled {
+			nextIRQ[i] = start + m.noise.IntervalCycles/2 +
+				m.rng.Int63n(m.noise.IntervalCycles)
+		}
+	}
+
+	results := make([]JobResult, len(jobs))
+
+	// Fast path: a single quiet job needs no lock-step windowing.
+	if len(jobs) == 1 && !m.noise.Enabled {
+		c := cores[0]
+		if _, err := c.Step(math.MaxInt64); err != nil {
+			return nil, fmt.Errorf("sim: job 0: %w", err)
+		}
+		results[0] = JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
+		if c.Cycle() > m.now {
+			m.now = c.Cycle()
+		}
+		return results, nil
+	}
+
+	finished := make([]bool, len(jobs))
+	remaining := len(jobs)
+	limit := m.now + quantum
+	for remaining > 0 {
+		progressed := false
+		for i, c := range cores {
+			if finished[i] {
+				continue
+			}
+			if m.noise.Enabled && c.Cycle() >= nextIRQ[i] {
+				c.Stall(m.noise.CostCycles)
+				m.Sys.DisturbCore(jobs[i].Core, m.rng, m.noise.CacheDisturbFraction)
+				nextIRQ[i] = c.Cycle() + m.noise.IntervalCycles/2 +
+					m.rng.Int63n(m.noise.IntervalCycles)
+			}
+			done, err := c.Step(limit)
+			if err != nil {
+				return nil, fmt.Errorf("sim: job %d: %w", i, err)
+			}
+			if done {
+				finished[i] = true
+				remaining--
+				results[i] = JobResult{
+					Result:   c.Result(),
+					EAX:      c.Reg(isa.RAX),
+					EndCycle: c.Cycle(),
+				}
+				if c.Cycle() > m.now {
+					m.now = c.Cycle()
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("sim: scheduler made no progress")
+		}
+		limit += quantum
+		if limit < 0 {
+			return nil, fmt.Errorf("sim: cycle counter overflow")
+		}
+	}
+	return results, nil
+}
+
+// RunOne is Run for a single job.
+func (m *Machine) RunOne(job Job) (JobResult, error) {
+	res, err := m.Run([]Job{job})
+	if err != nil {
+		return JobResult{}, err
+	}
+	return res[0], nil
+}
+
+// MaxInt64 re-exported for callers building open-ended Steps.
+const MaxInt64 = math.MaxInt64
+
+// StreamResult is one completed job of a job stream.
+type StreamResult struct {
+	Slot int
+	JobResult
+}
+
+// RunStream executes an open-ended stream of jobs: the initial jobs run
+// concurrently (one per slot, each pinned to its core), and whenever a slot
+// finishes, next(slot, result) may return a follow-on job for that slot
+// (started at the finishing core's cycle plus the job's StartCycle) or nil
+// to retire the slot. This is how work-queue runtimes (OpenMP
+// schedule(dynamic)) are simulated without serializing the queue.
+func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job) ([]StreamResult, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("sim: no initial jobs")
+	}
+	cores := make([]*cpu.Core, len(initial))
+	nextIRQ := make([]int64, len(initial))
+	active := make([]bool, len(initial))
+	pinned := make([]int, len(initial))
+	seen := map[int]bool{}
+	for i := range initial {
+		j := initial[i]
+		if j.Core < 0 || j.Core >= m.Desc.Cores {
+			return nil, fmt.Errorf("sim: slot %d pinned to core %d of %d", i, j.Core, m.Desc.Cores)
+		}
+		if seen[j.Core] {
+			return nil, fmt.Errorf("sim: two slots pinned to core %d", j.Core)
+		}
+		seen[j.Core] = true
+		pinned[i] = j.Core
+		start := m.now + j.StartCycle
+		cores[i] = cpu.NewCore(j.Core, m.Desc.Arch, m.Sys)
+		if err := cores[i].Reset(j.Prog, &j.Regs, start, j.MaxInsts); err != nil {
+			return nil, err
+		}
+		active[i] = true
+		if m.noise.Enabled {
+			nextIRQ[i] = start + m.noise.IntervalCycles/2 + m.rng.Int63n(m.noise.IntervalCycles)
+		}
+	}
+
+	var results []StreamResult
+	remaining := len(initial)
+	limit := m.now + quantum
+	for remaining > 0 {
+		for i, c := range cores {
+			if !active[i] {
+				continue
+			}
+			if m.noise.Enabled && c.Cycle() >= nextIRQ[i] {
+				c.Stall(m.noise.CostCycles)
+				m.Sys.DisturbCore(pinned[i], m.rng, m.noise.CacheDisturbFraction)
+				nextIRQ[i] = c.Cycle() + m.noise.IntervalCycles/2 + m.rng.Int63n(m.noise.IntervalCycles)
+			}
+			done, err := c.Step(limit)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slot %d: %w", i, err)
+			}
+			if !done {
+				continue
+			}
+			res := JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
+			results = append(results, StreamResult{Slot: i, JobResult: res})
+			if res.EndCycle > m.now {
+				m.now = res.EndCycle
+			}
+			nj := next(i, res)
+			if nj == nil {
+				active[i] = false
+				remaining--
+				continue
+			}
+			if nj.Core != pinned[i] {
+				return nil, fmt.Errorf("sim: slot %d follow-on job moved core %d -> %d", i, pinned[i], nj.Core)
+			}
+			start := res.EndCycle + nj.StartCycle
+			if err := c.Reset(nj.Prog, &nj.Regs, start, nj.MaxInsts); err != nil {
+				return nil, err
+			}
+		}
+		limit += quantum
+		if limit < 0 {
+			return nil, fmt.Errorf("sim: cycle counter overflow")
+		}
+	}
+	return results, nil
+}

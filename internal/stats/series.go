@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one (x, y) measurement of a series, e.g. (unroll factor,
+// cycles/iteration).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one plot line of a paper figure, e.g. the "L2" line of Fig. 11.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// MinY returns the smallest Y of the series (0 if empty).
+func (s *Series) MinY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// MaxY returns the largest Y of the series (0 if empty).
+func (s *Series) MaxY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// YAt returns the Y value at x, or an error if the series has no such point.
+func (s *Series) YAt(x float64) (float64, error) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: series %q has no point at x=%v", s.Name, x)
+}
+
+// Table is the result of one experiment: a set of series over a shared
+// X axis. It renders to CSV (MicroLauncher's output format, §4.3) and to a
+// terminal-friendly ASCII chart.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY mirrors the paper's log-scale figures (14, 17, 18).
+	LogY   bool
+	Series []*Series
+}
+
+// AddSeries creates, registers and returns a named series.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (t *Table) Get(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// xValues returns the sorted union of X values across all series.
+func (t *Table) xValues() []float64 {
+	set := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// WriteCSV renders the table as CSV: a header row with the X label and one
+// column per series, then one row per X value. Missing points render empty.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, func() []string {
+		names := make([]string, len(t.Series))
+		for i, s := range t.Series {
+			names[i] = s.Name
+		}
+		return names
+	}()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range t.xValues() {
+		row := make([]string, 0, len(t.Series)+1)
+		row = append(row, formatFloat(x))
+		for _, s := range t.Series {
+			y, err := s.YAt(x)
+			if err != nil {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, formatFloat(y))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVString renders the table to a CSV string.
+func (t *Table) CSVString() string {
+	var b strings.Builder
+	if err := t.WriteCSV(&b); err != nil {
+		// strings.Builder writes cannot fail; csv only fails on writer error.
+		panic(err)
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// ASCII renders an ASCII-art chart of the table with the given plot area
+// size. Each series is drawn with its own marker character.
+func (t *Table) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xs := t.xValues()
+	if len(xs) == 0 {
+		return t.Title + "\n(empty)\n"
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			y := p.Y
+			if t.LogY && y > 0 {
+				y = math.Log10(y)
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	for si, s := range t.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			y := p.Y
+			if t.LogY && y > 0 {
+				y = math.Log10(y)
+			}
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s vs %s", t.Title, t.YLabel, t.XLabel)
+	if t.LogY {
+		b.WriteString(", log Y")
+	}
+	b.WriteString(")\n")
+	for i, line := range grid {
+		var label float64
+		if t.LogY {
+			label = math.Pow(10, maxY-(maxY-minY)*float64(i)/float64(height-1))
+		} else {
+			label = maxY - (maxY-minY)*float64(i)/float64(height-1)
+		}
+		fmt.Fprintf(&b, "%10.2f |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("            " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,147 @@
+// Package stats provides the summary statistics, stability metrics and CSV
+// rendering used by MicroLauncher to report measurement results (§4.3 of the
+// paper: "The output of the launcher is a generic CSV file providing the
+// execution time of the benchmark program which is by default the number of
+// cycles per iteration").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a set of repeated measurements (the outer experiment
+// loop of MicroLauncher, §4.5) into the statistics the paper reports:
+// the minimum is used for figure series ("For each unroll group, the minimum
+// value was taken though the variance was minimal", §5.1) and the
+// coefficient of variation quantifies run-to-run stability (§4.7).
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over samples. It panics on an empty input:
+// the launcher never reports an experiment with zero repetitions.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		panic("stats: Summarize on empty sample set")
+	}
+	s := Summary{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range samples {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(samples))
+	var sq float64
+	for _, v := range samples {
+		d := v - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(samples)))
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CV returns the coefficient of variation (stddev/mean), the launcher's
+// stability metric. It returns 0 for a zero mean.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// Spread returns (max-min)/min, the relative spread across repetitions.
+// The paper's §2 alignment study uses exactly this ("The variation is less
+// than 3% for any alignment configuration").
+func (s Summary) Spread() float64 {
+	if s.Min == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Min
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f med=%.3f mean=%.3f max=%.3f sd=%.3f",
+		s.N, s.Min, s.Median, s.Mean, s.Max, s.StdDev)
+}
+
+// Statistic selects which summary statistic a launcher run reports.
+type Statistic int
+
+const (
+	// StatMin reports the minimum over repetitions (paper default for
+	// figure series).
+	StatMin Statistic = iota
+	// StatMedian reports the median.
+	StatMedian
+	// StatMean reports the arithmetic mean.
+	StatMean
+	// StatMax reports the maximum (useful for worst-case alignment
+	// studies such as Figs. 15-16).
+	StatMax
+)
+
+// String returns the CSV-facing name of the statistic.
+func (st Statistic) String() string {
+	switch st {
+	case StatMin:
+		return "min"
+	case StatMedian:
+		return "median"
+	case StatMean:
+		return "mean"
+	case StatMax:
+		return "max"
+	}
+	return fmt.Sprintf("Statistic(%d)", int(st))
+}
+
+// ParseStatistic parses a statistic name as accepted by the
+// microlauncher -statistic option.
+func ParseStatistic(name string) (Statistic, error) {
+	switch name {
+	case "min":
+		return StatMin, nil
+	case "median":
+		return StatMedian, nil
+	case "mean":
+		return StatMean, nil
+	case "max":
+		return StatMax, nil
+	}
+	return 0, fmt.Errorf("stats: unknown statistic %q (want min|median|mean|max)", name)
+}
+
+// Of applies the statistic to a summary.
+func (st Statistic) Of(s Summary) float64 {
+	switch st {
+	case StatMin:
+		return s.Min
+	case StatMedian:
+		return s.Median
+	case StatMean:
+		return s.Mean
+	case StatMax:
+		return s.Max
+	}
+	return s.Mean
+}

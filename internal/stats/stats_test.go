@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 2, 8, 6})
+	if s.N != 4 || s.Min != 2 || s.Max != 8 || s.Mean != 5 || s.Median != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	single := Summarize([]float64{7})
+	if single.Min != 7 || single.Max != 7 || single.StdDev != 0 || single.CV() != 0 {
+		t.Errorf("single summary = %+v", single)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSpreadAndCV(t *testing.T) {
+	s := Summarize([]float64{10, 12})
+	if got := s.Spread(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("spread = %v, want 0.2", got)
+	}
+	if s.CV() <= 0 {
+		t.Error("CV must be positive for varying samples")
+	}
+	z := Summary{}
+	if z.CV() != 0 || z.Spread() != 0 {
+		t.Error("zero summary must not divide by zero")
+	}
+}
+
+// Property: min <= median <= max, mean within [min,max], invariant under
+// permutation.
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		s := Summarize(vals)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		perm := append([]float64(nil), vals...)
+		sort.Float64s(perm)
+		s2 := Summarize(perm)
+		return s.Min == s2.Min && s.Max == s2.Max && s.Median == s2.Median &&
+			math.Abs(s.Mean-s2.Mean) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatisticParsingAndSelection(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"min", 1}, {"median", 2.5}, {"mean", 2.5}, {"max", 4},
+	}
+	for _, c := range cases {
+		st, err := ParseStatistic(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := st.Of(s); got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+		if st.String() != c.name {
+			t.Errorf("String() = %q, want %q", st.String(), c.name)
+		}
+	}
+	if _, err := ParseStatistic("mode"); err == nil {
+		t.Error("unknown statistic accepted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "t", XLabel: "x", YLabel: "y"}
+	a := tab.AddSeries("a")
+	b := tab.AddSeries("b")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 100) // b has no point at x=2
+	csv := tab.CSVString()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,100" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20," {
+		t.Errorf("row 2 (missing point) = %q", lines[2])
+	}
+}
+
+func TestTableSeriesHelpers(t *testing.T) {
+	tab := &Table{}
+	s := tab.AddSeries("s")
+	s.Add(1, 5)
+	s.Add(2, 3)
+	s.Add(3, 9)
+	if s.MinY() != 3 || s.MaxY() != 9 {
+		t.Errorf("min/max = %v/%v", s.MinY(), s.MaxY())
+	}
+	if v, err := s.YAt(2); err != nil || v != 3 {
+		t.Errorf("YAt(2) = %v, %v", v, err)
+	}
+	if _, err := s.YAt(42); err == nil {
+		t.Error("YAt on a missing point must error")
+	}
+	if tab.Get("s") != s || tab.Get("nope") != nil {
+		t.Error("Get lookup wrong")
+	}
+	var empty Series
+	if empty.MinY() != 0 || empty.MaxY() != 0 {
+		t.Error("empty series min/max must be 0")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	tab := &Table{Title: "Chart", XLabel: "x", YLabel: "y"}
+	s := tab.AddSeries("line")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	art := tab.ASCII(40, 10)
+	if !strings.Contains(art, "Chart") || !strings.Contains(art, "*=line") {
+		t.Errorf("chart missing title/legend:\n%s", art)
+	}
+	if !strings.Contains(art, "*") {
+		t.Error("chart has no markers")
+	}
+	// Log scale must not crash and must mention it.
+	tab.LogY = true
+	if !strings.Contains(tab.ASCII(40, 10), "log Y") {
+		t.Error("log scale not indicated")
+	}
+	// Degenerate tables render without panicking.
+	empty := &Table{Title: "e"}
+	if !strings.Contains(empty.ASCII(40, 10), "(empty)") {
+		t.Error("empty table should render a placeholder")
+	}
+	flat := &Table{Title: "f"}
+	fs := flat.AddSeries("f")
+	fs.Add(1, 5)
+	_ = flat.ASCII(2, 2) // clamps to minimum size
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(42); got != "42" {
+		t.Errorf("formatFloat(42) = %q", got)
+	}
+	if got := formatFloat(2.5); got != "2.5" {
+		t.Errorf("formatFloat(2.5) = %q", got)
+	}
+}

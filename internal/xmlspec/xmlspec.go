@@ -1,0 +1,652 @@
+// Package xmlspec parses MicroCreator's XML kernel-description dialect
+// (paper §3.1, Figs. 6 and 9) into ir.Kernels.
+//
+// The dialect is order-sensitive inside <instruction>: "A memory operand
+// followed by a register operand represents a load instruction. A store
+// instruction is the opposite" — i.e. children appear in AT&T operand order.
+// The decoder therefore walks XML tokens rather than relying on struct
+// unmarshalling.
+//
+// Grammar (— marks optional):
+//
+//	<microcreator>            — root; a bare <kernel> root is also accepted
+//	  <kernel name="...">
+//	    <description>…</description>                       —
+//	    <element_size>4</element_size>                     —
+//	    <max_variants>500</max_variants>                   —
+//	    <random_selection><count/><seed/></random_selection> —
+//	    <instruction>…</instruction>                       +
+//	    <unrolling><min/><max/></unrolling>                —
+//	    <induction>…</induction>                           *
+//	    <branch_information><label/><test/></branch_information>
+//	  </kernel>
+//	</microcreator>
+//
+//	<instruction>
+//	  <operation>movaps</operation>           (xor) <move_semantics>…
+//	  <memory><register/><offset>0</offset></memory>     operands,
+//	  <register><phyName>%xmm</phyName><min/><max/></register>   in order
+//	  <immediate><value>…</value>+</immediate>
+//	  <swap_before_unroll/> <swap_after_unroll/> <repetition><min/><max/>
+//	</instruction>
+package xmlspec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"microtools/internal/ir"
+	"microtools/internal/isa"
+)
+
+// Parse decodes one or more kernel descriptions.
+func Parse(r io.Reader) ([]*ir.Kernel, error) {
+	dec := xml.NewDecoder(r)
+	var kernels []*ir.Kernel
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlspec: %v", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "microcreator":
+			// Container: keep scanning inside it.
+		case "kernel":
+			k, err := parseKernel(dec, se)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, k)
+		default:
+			return nil, fmt.Errorf("xmlspec: unexpected top-level element <%s>", se.Name.Local)
+		}
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("xmlspec: no <kernel> elements found")
+	}
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("xmlspec: %v", err)
+		}
+	}
+	return kernels, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string) ([]*ir.Kernel, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// ParseOne parses a spec expected to hold exactly one kernel.
+func ParseOne(src string) (*ir.Kernel, error) {
+	ks, err := ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ks) != 1 {
+		return nil, fmt.Errorf("xmlspec: expected one kernel, found %d", len(ks))
+	}
+	return ks[0], nil
+}
+
+// parser carries per-kernel state: the logical/physical register identity
+// map (same name ⇒ same *ir.Register).
+type parser struct {
+	dec  *xml.Decoder
+	regs map[string]*ir.Register
+}
+
+func parseKernel(dec *xml.Decoder, start xml.StartElement) (*ir.Kernel, error) {
+	p := &parser{dec: dec, regs: map[string]*ir.Register{}}
+	k := &ir.Kernel{
+		UnrollRange: ir.Range{Min: 1, Max: 1},
+		ElementSize: 4,
+	}
+	for _, attr := range start.Attr {
+		if attr.Name.Local == "name" {
+			k.BaseName = attr.Value
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlspec: in <kernel>: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == "kernel" {
+				k.Name = k.BaseName
+				return k, nil
+			}
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "description":
+				s, err := p.text(t)
+				if err != nil {
+					return nil, err
+				}
+				k.Description = s
+			case "element_size":
+				v, err := p.intText(t)
+				if err != nil {
+					return nil, err
+				}
+				k.ElementSize = int(v)
+			case "max_variants":
+				v, err := p.intText(t)
+				if err != nil {
+					return nil, err
+				}
+				k.MaxVariants = int(v)
+			case "random_selection":
+				if err := p.parseRandom(t, k); err != nil {
+					return nil, err
+				}
+			case "instruction":
+				in, err := p.parseInstruction(t)
+				if err != nil {
+					return nil, err
+				}
+				k.Body = append(k.Body, *in)
+			case "unrolling":
+				r, err := p.parseRange(t)
+				if err != nil {
+					return nil, err
+				}
+				k.UnrollRange = r
+			case "induction":
+				ind, err := p.parseInduction(t)
+				if err != nil {
+					return nil, err
+				}
+				k.Inductions = append(k.Inductions, *ind)
+			case "branch_information":
+				if err := p.parseBranch(t, k); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("xmlspec: unexpected element <%s> in <kernel>", t.Name.Local)
+			}
+		}
+	}
+}
+
+// register returns the canonical *ir.Register for a logical name or a fixed
+// physical name, creating it on first use.
+func (p *parser) register(key string, mk func() (*ir.Register, error)) (*ir.Register, error) {
+	if r, ok := p.regs[key]; ok {
+		return r, nil
+	}
+	r, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	p.regs[key] = r
+	return r, nil
+}
+
+func (p *parser) parseInstruction(start xml.StartElement) (*ir.Instruction, error) {
+	in := &ir.Instruction{Repeat: ir.Range{Min: 1, Max: 1}}
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmlspec: in <instruction>: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == start.Name.Local {
+				return in, nil
+			}
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "operation":
+				s, err := p.text(t)
+				if err != nil {
+					return nil, err
+				}
+				if in.Move != nil {
+					return nil, fmt.Errorf("xmlspec: <operation> and <move_semantics> are mutually exclusive")
+				}
+				in.Op = strings.TrimSpace(s)
+			case "move_semantics":
+				if in.Op != "" {
+					return nil, fmt.Errorf("xmlspec: <operation> and <move_semantics> are mutually exclusive")
+				}
+				mv, err := p.parseMove(t)
+				if err != nil {
+					return nil, err
+				}
+				in.Move = mv
+			case "memory":
+				op, err := p.parseMemoryOperand(t)
+				if err != nil {
+					return nil, err
+				}
+				in.Operands = append(in.Operands, *op)
+			case "register":
+				reg, err := p.parseRegister(t)
+				if err != nil {
+					return nil, err
+				}
+				in.Operands = append(in.Operands, ir.Operand{Kind: ir.RegOperand, Reg: reg})
+			case "immediate":
+				op, err := p.parseImmediate(t)
+				if err != nil {
+					return nil, err
+				}
+				in.Operands = append(in.Operands, *op)
+			case "swap_before_unroll":
+				in.SwapBeforeUnroll = true
+				if err := p.skip(t); err != nil {
+					return nil, err
+				}
+			case "swap_after_unroll":
+				in.SwapAfterUnroll = true
+				if err := p.skip(t); err != nil {
+					return nil, err
+				}
+			case "repetition":
+				r, err := p.parseRange(t)
+				if err != nil {
+					return nil, err
+				}
+				in.Repeat = r
+			default:
+				return nil, fmt.Errorf("xmlspec: unexpected element <%s> in <instruction>", t.Name.Local)
+			}
+		}
+	}
+}
+
+func (p *parser) parseMove(start xml.StartElement) (*ir.MoveSemantics, error) {
+	mv := &ir.MoveSemantics{Aligned: "both"}
+	err := p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "bytes":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			mv.Bytes = int(v)
+		case "precision":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			mv.Precision = strings.TrimSpace(s)
+		case "aligned":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			mv.Aligned = strings.TrimSpace(s)
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <move_semantics>", t.Name.Local)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mv.Bytes == 0 {
+		return nil, fmt.Errorf("xmlspec: <move_semantics> requires <bytes>")
+	}
+	switch mv.Aligned {
+	case "aligned", "unaligned", "both":
+	default:
+		return nil, fmt.Errorf("xmlspec: <aligned> must be aligned|unaligned|both, got %q", mv.Aligned)
+	}
+	switch mv.Precision {
+	case "", "single", "double":
+	default:
+		return nil, fmt.Errorf("xmlspec: <precision> must be single|double, got %q", mv.Precision)
+	}
+	return mv, nil
+}
+
+func (p *parser) parseMemoryOperand(start xml.StartElement) (*ir.Operand, error) {
+	op := &ir.Operand{Kind: ir.MemOperand}
+	err := p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "register":
+			reg, err := p.parseRegister(t)
+			if err != nil {
+				return err
+			}
+			op.Reg = reg
+		case "offset":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			op.Offset = v
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <memory>", t.Name.Local)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if op.Reg == nil {
+		return nil, fmt.Errorf("xmlspec: <memory> requires a <register>")
+	}
+	return op, nil
+}
+
+func (p *parser) parseImmediate(start xml.StartElement) (*ir.Operand, error) {
+	op := &ir.Operand{Kind: ir.ImmOperand}
+	err := p.each(start, func(t xml.StartElement) error {
+		if t.Name.Local != "value" {
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <immediate>", t.Name.Local)
+		}
+		v, err := p.intText(t)
+		if err != nil {
+			return err
+		}
+		op.ImmChoices = append(op.ImmChoices, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch len(op.ImmChoices) {
+	case 0:
+		return nil, fmt.Errorf("xmlspec: <immediate> requires at least one <value>")
+	case 1:
+		op.Imm = op.ImmChoices[0]
+		op.ImmChoices = nil
+	}
+	return op, nil
+}
+
+// parseRegister handles both forms: <name>r1</name> (logical) and
+// <phyName>%xmm</phyName><min>0</min><max>8</max> (rotating class) or
+// <phyName>%eax</phyName> (pinned physical).
+func (p *parser) parseRegister(start xml.StartElement) (*ir.Register, error) {
+	var name, phyName string
+	var rot ir.Range
+	hasRot := false
+	err := p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "name":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			name = strings.TrimSpace(s)
+		case "phyName":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			phyName = strings.TrimSpace(s)
+		case "min":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			rot.Min = int(v)
+			hasRot = true
+		case "max":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			rot.Max = int(v)
+			hasRot = true
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <register>", t.Name.Local)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case name != "" && phyName != "":
+		return nil, fmt.Errorf("xmlspec: register has both <name> and <phyName>")
+	case name != "":
+		return p.register("name:"+name, func() (*ir.Register, error) {
+			return ir.NewLogical(name), nil
+		})
+	case phyName != "" && hasRot:
+		if rot.Max <= rot.Min || rot.Min < 0 || rot.Max > 16 {
+			return nil, fmt.Errorf("xmlspec: rotating register range [%d,%d) invalid", rot.Min, rot.Max)
+		}
+		// Rotating registers are never shared: each operand rotates
+		// independently per unroll copy.
+		return ir.NewRotating(phyName, rot), nil
+	case phyName != "":
+		return p.register("phy:"+phyName, func() (*ir.Register, error) {
+			reg, err := isa.ParseReg(phyName)
+			if err != nil {
+				return nil, fmt.Errorf("xmlspec: %v", err)
+			}
+			return ir.NewPinned(reg, isa.Is32BitName(phyName)), nil
+		})
+	default:
+		return nil, fmt.Errorf("xmlspec: register requires <name> or <phyName>")
+	}
+}
+
+func (p *parser) parseInduction(start xml.StartElement) (*ir.Induction, error) {
+	ind := &ir.Induction{}
+	err := p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "register":
+			reg, err := p.parseRegister(t)
+			if err != nil {
+				return err
+			}
+			ind.Reg = reg
+		case "increment":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			ind.Increment = v
+		case "stride":
+			err := p.each(t, func(u xml.StartElement) error {
+				if u.Name.Local != "value" {
+					return fmt.Errorf("xmlspec: unexpected element <%s> in <stride>", u.Name.Local)
+				}
+				v, err := p.intText(u)
+				if err != nil {
+					return err
+				}
+				ind.IncrementChoices = append(ind.IncrementChoices, v)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		case "offset":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			ind.Offset = v
+		case "linked":
+			err := p.each(t, func(u xml.StartElement) error {
+				if u.Name.Local != "register" {
+					return fmt.Errorf("xmlspec: unexpected element <%s> in <linked>", u.Name.Local)
+				}
+				reg, err := p.parseRegister(u)
+				if err != nil {
+					return err
+				}
+				ind.LinkedTo = reg
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		case "last_induction":
+			ind.Last = true
+			return p.skip(t)
+		case "not_affected_unroll":
+			ind.NotAffectedUnroll = true
+			return p.skip(t)
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <induction>", t.Name.Local)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ind.Reg == nil {
+		return nil, fmt.Errorf("xmlspec: <induction> requires a <register>")
+	}
+	return ind, nil
+}
+
+func (p *parser) parseBranch(start xml.StartElement, k *ir.Kernel) error {
+	return p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "label":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			k.Branch.Label = strings.TrimSpace(s)
+		case "test":
+			s, err := p.text(t)
+			if err != nil {
+				return err
+			}
+			k.Branch.Test = strings.TrimSpace(s)
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <branch_information>", t.Name.Local)
+		}
+		return nil
+	})
+}
+
+func (p *parser) parseRandom(start xml.StartElement, k *ir.Kernel) error {
+	return p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "count":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			k.RandomCount = int(v)
+		case "seed":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			k.RandomSeed = v
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <random_selection>", t.Name.Local)
+		}
+		return nil
+	})
+}
+
+func (p *parser) parseRange(start xml.StartElement) (ir.Range, error) {
+	r := ir.Range{Min: 1, Max: 1}
+	sawMin, sawMax := false, false
+	err := p.each(start, func(t xml.StartElement) error {
+		switch t.Name.Local {
+		case "min":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			r.Min = int(v)
+			sawMin = true
+		case "max":
+			v, err := p.intText(t)
+			if err != nil {
+				return err
+			}
+			r.Max = int(v)
+			sawMax = true
+		default:
+			return fmt.Errorf("xmlspec: unexpected element <%s> in <%s>", t.Name.Local, start.Name.Local)
+		}
+		return nil
+	})
+	if err != nil {
+		return r, err
+	}
+	if sawMin && !sawMax {
+		r.Max = r.Min
+	}
+	if sawMax && !sawMin {
+		r.Min = 1
+	}
+	return r, nil
+}
+
+// each iterates over the direct child start-elements of start until its
+// matching end element.
+func (p *parser) each(start xml.StartElement, f func(xml.StartElement) error) error {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmlspec: in <%s>: %v", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == start.Name.Local {
+				return nil
+			}
+		case xml.StartElement:
+			if err := f(t); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// text consumes the element's character data up to its end tag.
+func (p *parser) text(start xml.StartElement) (string, error) {
+	var b strings.Builder
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("xmlspec: in <%s>: %v", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			b.Write(t)
+		case xml.EndElement:
+			if t.Name.Local == start.Name.Local {
+				return b.String(), nil
+			}
+		case xml.StartElement:
+			return "", fmt.Errorf("xmlspec: <%s> must contain only text, found <%s>", start.Name.Local, t.Name.Local)
+		}
+	}
+}
+
+func (p *parser) intText(start xml.StartElement) (int64, error) {
+	s, err := p.text(start)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xmlspec: <%s>: bad integer %q", start.Name.Local, strings.TrimSpace(s))
+	}
+	return v, nil
+}
+
+// skip consumes an element (and any children) entirely.
+func (p *parser) skip(start xml.StartElement) error {
+	return p.each(start, func(t xml.StartElement) error { return p.skip(t) })
+}

@@ -1,0 +1,158 @@
+// Package microtools is a Go reproduction of "MicroTools: Automating
+// Program Generation and Performance Measurement" (Beyler et al., ICPP
+// 2012): MicroCreator, an XML-driven microbenchmark generator built as a
+// nineteen-pass source-to-source compiler with a plugin system, and
+// MicroLauncher, a benchmark runner that executes kernels in a stable,
+// controlled environment and reports cycles per iteration.
+//
+// Because the paper measures real Nehalem/Sandy Bridge machines with
+// rdtsc, the execution substrate here is a deterministic
+// micro-architectural simulator (out-of-order cores, cache hierarchy with
+// MSHRs/banks/prefetch, per-socket memory controllers with channel and
+// DRAM-row modelling, core/uncore clock domains); see DESIGN.md for the
+// substitution rationale and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	progs, err := microtools.Generate(strings.NewReader(xmlSpec), microtools.GenerateOptions{})
+//	...
+//	kernel, err := microtools.LoadKernel(progs[0].Assembly, "")
+//	m, err := microtools.Launch(kernel, microtools.DefaultLaunchOptions())
+//	fmt.Printf("%s: %.2f cycles/iteration\n", m.Kernel, m.Value)
+//
+// The paper's evaluation figures regenerate through Experiments / RunExperiment
+// and through the benchmarks in bench_test.go.
+package microtools
+
+import (
+	"io"
+
+	"microtools/internal/analysis"
+	"microtools/internal/codegen"
+	"microtools/internal/core"
+	"microtools/internal/experiments"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/passes"
+	"microtools/internal/plugin"
+	"microtools/internal/power"
+	"microtools/internal/stats"
+)
+
+// Re-exported types of the public surface.
+type (
+	// GenerateOptions configures MicroCreator (seed, output formats,
+	// plugins).
+	GenerateOptions = core.GenerateOptions
+	// Program is one generated benchmark program (assembly and/or C).
+	Program = codegen.Program
+	// Kernel is a decoded, executable kernel program.
+	Kernel = isa.Program
+	// LaunchOptions is MicroLauncher's 30+ option surface.
+	LaunchOptions = launcher.Options
+	// Measurement is one launcher result row.
+	Measurement = launcher.Measurement
+	// Experiment is one paper figure/table reproduction.
+	Experiment = experiments.Experiment
+	// ExperimentConfig tunes experiment execution.
+	ExperimentConfig = experiments.Config
+	// Table is an experiment result (CSV / ASCII renderable).
+	Table = stats.Table
+	// PassManager is MicroCreator's pass pipeline, exposed for plugins.
+	PassManager = passes.Manager
+	// Pass is one pipeline stage.
+	Pass = passes.Pass
+	// Plugin is the pluginInit-style extension interface.
+	Plugin = plugin.Plugin
+	// PluginFunc adapts a function to Plugin.
+	PluginFunc = plugin.Func
+	// Machine describes one of the paper's Table 1 platforms.
+	Machine = machine.Machine
+	// EnergyEstimate is the §7 power-model result attached to measurements
+	// when LaunchOptions.ReportEnergy is set.
+	EnergyEstimate = power.Estimate
+	// Ranking is a best-first ordering of measurements.
+	Ranking = analysis.Ranking
+)
+
+// Generate runs MicroCreator over an XML kernel description (§3).
+func Generate(r io.Reader, opts GenerateOptions) ([]Program, error) {
+	return core.Generate(r, opts)
+}
+
+// GenerateString is Generate over a string.
+func GenerateString(xml string, opts GenerateOptions) ([]Program, error) {
+	return core.GenerateString(xml, opts)
+}
+
+// GenerateFile is Generate over a file.
+func GenerateFile(path string, opts GenerateOptions) ([]Program, error) {
+	return core.GenerateFile(path, opts)
+}
+
+// LoadKernel parses assembly and selects the kernel function (§4.1).
+func LoadKernel(src, functionName string) (*Kernel, error) {
+	return core.LoadKernel(src, functionName)
+}
+
+// LoadKernelFile is LoadKernel over a file.
+func LoadKernelFile(path, functionName string) (*Kernel, error) {
+	return core.LoadKernelFile(path, functionName)
+}
+
+// Launch measures a kernel with MicroLauncher (§4).
+func Launch(prog *Kernel, opts LaunchOptions) (*Measurement, error) {
+	return core.Launch(prog, opts)
+}
+
+// Run chains the tools end to end: generate every variant, launch each.
+func Run(xml io.Reader, gen GenerateOptions, launch LaunchOptions) ([]*Measurement, error) {
+	return core.Run(xml, gen, launch)
+}
+
+// RunParallel is Run with the launches fanned out over a worker pool; each
+// variant runs on its own simulated machine, so results are bit-identical
+// to the serial run.
+func RunParallel(xml io.Reader, gen GenerateOptions, launch LaunchOptions, workers int) ([]*Measurement, error) {
+	return core.RunParallel(xml, gen, launch, workers)
+}
+
+// DefaultLaunchOptions returns the paper-faithful launcher defaults.
+func DefaultLaunchOptions() LaunchOptions { return launcher.DefaultOptions() }
+
+// WriteMeasurementsCSV renders measurements as the launcher's CSV output
+// (§4.3).
+func WriteMeasurementsCSV(w io.Writer, ms []*Measurement) error {
+	return launcher.WriteCSV(w, ms)
+}
+
+// Experiments lists the paper's figure/table reproductions in paper order.
+func Experiments() []*Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper figure/table by id ("fig03" ...
+// "fig18", "tab02", "stability").
+func RunExperiment(id string, cfg ExperimentConfig) (*Table, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg)
+}
+
+// RegisterPlugin registers a MicroCreator plugin (§3.3).
+func RegisterPlugin(p Plugin) error { return plugin.Register(p) }
+
+// Machines returns the available Table 1 machine model names.
+func Machines() []string { return machine.Names() }
+
+// MachineByName resolves a machine model, optionally scaled ("nehalem-dual/8").
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// RankMeasurements orders a variant family best-first by per-element cost
+// (falling back to per-iteration cost), the §7 automated-analysis step.
+func RankMeasurements(ms []*Measurement) Ranking { return analysis.RankPerElement(ms) }
+
+// AnalyzeTable renders the automated analysis of an experiment table:
+// plateaus, cutting points, and speedups (§7 data-mining).
+func AnalyzeTable(t *Table) string { return analysis.StudyReport(t) }

@@ -1,0 +1,84 @@
+package microtools
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the whole public surface: generate the
+// paper's Fig. 6 family, launch a variant, render CSV, and consult the
+// experiment registry.
+func TestFacadeEndToEnd(t *testing.T) {
+	progs, err := GenerateString(fig6Spec(), GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 510 {
+		t.Fatalf("generated %d variants, want the paper's 510", len(progs))
+	}
+
+	kernel, err := LoadKernel(progs[0].Assembly, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultLaunchOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 4 << 10
+	opts.InnerReps = 1
+	opts.OuterReps = 2
+	m, err := Launch(kernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, []*Measurement{m}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), m.Kernel) {
+		t.Error("CSV missing kernel name")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 13 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	if _, err := RunExperiment("no-such", ExperimentConfig{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	names := Machines()
+	if len(names) != 3 {
+		t.Fatalf("machines = %v", names)
+	}
+	for _, n := range names {
+		if _, err := MachineByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	spec := strings.Replace(fig6Spec(), "<unrolling><min>1</min><max>8</max></unrolling>", "<unrolling><min>1</min><max>2</max></unrolling>", 1)
+	opts := DefaultLaunchOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 4 << 10
+	opts.InnerReps = 1
+	opts.OuterReps = 1
+	ms, err := Run(strings.NewReader(spec), GenerateOptions{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// unroll 1..2 with swap-after: 2 + 4 = 6 variants.
+	if len(ms) != 6 {
+		t.Fatalf("measured %d variants, want 6", len(ms))
+	}
+}

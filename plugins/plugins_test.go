@@ -1,0 +1,132 @@
+package plugins
+
+import (
+	"strings"
+	"testing"
+
+	"microtools/internal/core"
+	"microtools/internal/plugin"
+)
+
+const spec = `
+<kernel name="p">
+  <instruction>
+    <operation>movaps</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>8</max></register>
+    <swap_after_unroll/>
+  </instruction>
+  <unrolling><min>1</min><max>4</max></unrolling>
+  <induction><register><name>r1</name></register><increment>16</increment><offset>16</offset></induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <branch_information><label>.L0</label><test>jge</test></branch_information>
+</kernel>`
+
+func TestRegisteredByInit(t *testing.T) {
+	for _, name := range []string{"enable-schedule", "disable-swaps", "cap-variants-64", "only-max-unroll"} {
+		if _, ok := plugin.Lookup(name); !ok {
+			t.Errorf("plugin %q not registered", name)
+		}
+	}
+}
+
+func TestDisableSwaps(t *testing.T) {
+	base, err := core.GenerateString(spec, core.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum(2^u, u=1..4) = 30 with swaps.
+	if len(base) != 30 {
+		t.Fatalf("baseline variants = %d, want 30", len(base))
+	}
+	noSwap, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"disable-swaps"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per unroll factor without the swap fan-out.
+	if len(noSwap) != 4 {
+		t.Fatalf("no-swap variants = %d, want 4", len(noSwap))
+	}
+	for _, p := range noSwap {
+		if strings.Contains(p.Name, "S") && strings.Contains(strings.SplitN(p.Name, "_", 3)[2], "S") {
+			t.Errorf("swap survived: %s", p.Name)
+		}
+	}
+}
+
+func TestCapVariants(t *testing.T) {
+	capped, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"cap-variants-64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) > 64 {
+		t.Errorf("cap violated: %d variants", len(capped))
+	}
+	// Register a tighter cap programmatically.
+	tight := CapVariants(5)
+	if err := plugin.Register(tight); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plugin.Unregister(tight.PluginName) })
+	few, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"cap-variants-5"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != 5 {
+		t.Errorf("cap-5 produced %d variants", len(few))
+	}
+}
+
+func TestOnlyMaxUnroll(t *testing.T) {
+	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"only-max-unroll"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only u=4 variants remain: 2^4 swap patterns.
+	if len(progs) != 16 {
+		t.Fatalf("variants = %d, want 16", len(progs))
+	}
+	for _, p := range progs {
+		if !strings.Contains(p.Name, "_u4_") {
+			t.Errorf("non-max unroll survived: %s", p.Name)
+		}
+	}
+}
+
+func TestTagMachine(t *testing.T) {
+	tag := TagMachine("snb")
+	if err := plugin.Register(tag); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plugin.Unregister(tag.PluginName) })
+	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"tag-snb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		if !strings.Contains(p.Name, "msnb") {
+			t.Errorf("tag missing from %s", p.Name)
+		}
+	}
+}
+
+func TestEnableSchedule(t *testing.T) {
+	// The schedule pass must not break generation when enabled.
+	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"enable-schedule"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 30 {
+		t.Errorf("variants = %d, want 30", len(progs))
+	}
+	for _, p := range progs {
+		if _, err := core.LoadKernel(p.Assembly, ""); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
