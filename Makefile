@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci build test vet fmt-check race bench
+
+# ci is the repository's verify command (see ROADMAP.md): formatting, vet,
+# build and the full test suite under the race detector.
+ci: fmt-check vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchmem .

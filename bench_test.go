@@ -413,3 +413,76 @@ func fig6Spec() string {
   <branch_information><label>.L6</label><test>jge</test></branch_information>
 </kernel>`
 }
+
+// ---- observability overhead ---------------------------------------------------
+
+// obsKernel is the minimal streaming kernel the tracing-overhead benchmarks
+// launch: small enough that per-launch protocol overhead dominates, which is
+// exactly where tracing overhead would show.
+const obsKernel = `
+.L0:
+movaps (%rsi), %xmm0
+add $16, %rsi
+add $1, %eax
+sub $4, %rdi
+jge .L0
+ret`
+
+func obsLaunchOptions() LaunchOptions {
+	opts := DefaultLaunchOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 2 << 10
+	opts.InnerReps = 2
+	opts.OuterReps = 2
+	return opts
+}
+
+// BenchmarkLaunchUntraced is the baseline: the instrumented launcher with
+// the default nil tracer. The no-op tracing path must cost nothing — compare
+// against BenchmarkLaunchTraced to see the price of turning tracing on.
+func BenchmarkLaunchUntraced(b *testing.B) {
+	prog, err := asm.ParseOne(obsKernel, "k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := obsLaunchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Launch(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaunchTraced launches with an active tracer recording the full
+// span tree (launch > phases > reps > sim runs).
+func BenchmarkLaunchTraced(b *testing.B) {
+	prog, err := asm.ParseOne(obsKernel, "k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := obsLaunchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Tracer = NewTracer()
+		if _, err := Launch(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaunchCounters launches with simulated-PMU counter collection.
+func BenchmarkLaunchCounters(b *testing.B) {
+	prog, err := asm.ParseOne(obsKernel, "k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := obsLaunchOptions()
+	opts.CollectCounters = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Launch(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"microtools/internal/core"
+	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
 
@@ -34,6 +35,7 @@ func main() {
 		pluginList = flag.String("plugins", "", "comma-separated registered plugins to apply")
 		listPasses = flag.Bool("list-passes", false, "print the pass pipeline and exit")
 		verbose    = flag.Bool("v", false, "per-pass progress on stderr")
+		traceOut   = flag.String("trace", "", "write a span trace of the generation pipeline to this file (.json = Chrome trace_event, .jsonl = spans per line)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,11 @@ func main() {
 	if *verbose {
 		opts.Verbose = os.Stderr
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+		opts.Tracer = tracer
+	}
 
 	var progs []core.GeneratedProgram
 	var err error
@@ -84,6 +91,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteFileFormat(f, *traceOut); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%d spans)\n", *traceOut, len(tracer.Records()))
 	}
 	fmt.Printf("generated %d benchmark programs (%d files) in %s\n",
 		len(progs), len(paths), *output)

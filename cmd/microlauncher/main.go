@@ -17,10 +17,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"microtools/internal/core"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
+	"microtools/internal/obs"
 	"microtools/internal/stats"
 )
 
@@ -58,11 +60,14 @@ func main() {
 		ompChunk  = flag.Int64("omp-chunk", 1024, "chunk elements for schedule(dynamic)")
 		energy    = flag.Bool("energy", false, "attach the power-model estimate (energy_j/avg_watts CSV columns)")
 		// Output.
-		unitName = flag.String("unit", "tsc", "time unit: tsc|cycles|seconds")
-		perIter  = flag.Bool("per-iteration", true, "divide by the kernel's %eax iteration count (§4.4)")
-		verbose  = flag.Bool("v", false, "protocol progress on stderr")
-		memStats = flag.Bool("mem-stats", false, "print memory-system counters on stderr")
-		dump     = flag.Bool("dump-kernel", false, "print the decoded kernel (AT&T) on stderr before running")
+		unitName   = flag.String("unit", "tsc", "time unit: tsc|cycles|seconds")
+		perIter    = flag.Bool("per-iteration", true, "divide by the kernel's %eax iteration count (§4.4)")
+		verbose    = flag.Bool("v", false, "protocol progress on stderr")
+		memStats   = flag.Bool("mem-stats", false, "print memory-system counters on stderr")
+		dump       = flag.Bool("dump-kernel", false, "print the decoded kernel (AT&T) on stderr before running")
+		reportName = flag.String("report", "csv", "result encoding on stdout: csv|json")
+		counters   = flag.Bool("counters", false, "collect simulated-PMU counters over the measured region (shown in the json report; csv prints them on stderr)")
+		traceOut   = flag.String("trace", "", "write a span trace of the launch protocol to this file (.json = Chrome trace_event for chrome://tracing, .jsonl = one span per line)")
 	)
 	flag.Parse()
 
@@ -155,15 +160,56 @@ func main() {
 	if *verbose {
 		opts.Verbose = os.Stderr
 	}
+	reportFormat, err := launcher.ParseReportFormat(*reportName)
+	if err != nil {
+		fail(err)
+	}
+	opts.CollectCounters = *counters
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+		opts.Tracer = tracer
+	}
+	if !opts.DisableInterrupts && opts.NoiseSeed == 0 {
+		// Pick and announce the effective seed so a noisy run can be
+		// reproduced exactly with -noise-seed.
+		opts.NoiseSeed = time.Now().UnixNano()
+		fmt.Fprintf(os.Stderr, "microlauncher: interrupts enabled without -noise-seed; using seed %d (pass -noise-seed %d to reproduce)\n",
+			opts.NoiseSeed, opts.NoiseSeed)
+	}
 
 	m, err := launcher.Launch(prog, opts)
 	if err != nil {
 		fail(err)
 	}
-	if err := launcher.WriteCSV(os.Stdout, []*launcher.Measurement{m}); err != nil {
+	if err := launcher.WriteReport(os.Stdout, reportFormat, []*launcher.Measurement{m}); err != nil {
 		fail(err)
 	}
 	if *memStats {
 		fmt.Fprintf(os.Stderr, "mem: %+v\n", m.MemStats)
+	}
+	if *counters && reportFormat == launcher.ReportCSV && m.Counters != nil {
+		c := m.Counters
+		fmt.Fprintf(os.Stderr, "counters: insts=%d cycles=%d cpi=%.3f branches=%d mispredicts=%d (rate %.4f) frontend-stalls=%d irq-stalls=%d\n",
+			c.RetiredInsts, c.CoreCycles, c.CPI(), c.Branches, c.BranchMispredicts, c.MispredictRate(),
+			c.FrontendStallCycles, c.InterruptStallCycles)
+		fmt.Fprintf(os.Stderr, "counters: l1-hit-rate=%.4f l1-mpki=%.2f l2-mpki=%.2f l3-mpki=%.2f mem-bytes=%d\n",
+			c.L1HitRate(), c.L1MPKI(), c.L2MPKI(), c.L3MPKI(), c.Mem.BytesFromMemory)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteFileFormat(f, *traceOut); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "microlauncher: trace (%d spans) written to %s\n", len(tracer.Records()), *traceOut)
+		}
 	}
 }

@@ -14,27 +14,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"microtools/internal/analysis"
 	"microtools/internal/core"
 	"microtools/internal/experiments"
 	"microtools/internal/launcher"
+	"microtools/internal/obs"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the available experiments")
-		expID   = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")
-		all     = flag.Bool("all", false, "run every experiment")
-		study   = flag.String("study", "", "XML kernel description: generate all variants, launch each, report the best (§7 workflow)")
-		machine = flag.String("machine", "nehalem-dual/8", "machine for -study")
-		size    = flag.Int64("size", 1<<14, "array bytes for -study")
-		screen  = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
-		quick   = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
-		csvOut  = flag.String("csv", "", "write the result table as CSV to this file")
-		outDir  = flag.String("outdir", "results", "output directory for -all")
-		plain   = flag.Bool("no-chart", false, "suppress the ASCII chart")
-		vFlag   = flag.Bool("v", false, "progress on stderr")
+		list     = flag.Bool("list", false, "list the available experiments")
+		expID    = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")
+		all      = flag.Bool("all", false, "run every experiment")
+		study    = flag.String("study", "", "XML kernel description: generate all variants, launch each, report the best (§7 workflow)")
+		machine  = flag.String("machine", "nehalem-dual/8", "machine for -study")
+		size     = flag.Int64("size", 1<<14, "array bytes for -study")
+		screen   = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
+		quick    = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
+		csvOut   = flag.String("csv", "", "write the result table as CSV to this file")
+		outDir   = flag.String("outdir", "results", "output directory for -all")
+		plain    = flag.Bool("no-chart", false, "suppress the ASCII chart")
+		vFlag    = flag.Bool("v", false, "progress on stderr")
+		report   = flag.String("report", "csv", "encoding for the -study measurement table written with -csv: csv|json")
+		counters = flag.Bool("counters", false, "collect simulated-PMU counters for every -study measurement")
+		traceOut = flag.String("trace", "", "write a span trace of the -study campaign (generation + every launch) to this file (.json = Chrome trace_event, .jsonl = spans per line)")
 	)
 	flag.Parse()
 
@@ -93,14 +98,24 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
+		reportFormat, err := launcher.ParseReportFormat(*report)
+		if err != nil {
+			fail(err)
+		}
 		opts := launcher.DefaultOptions()
 		opts.MachineName = *machine
 		opts.ArrayBytes = *size
+		opts.CollectCounters = *counters
 		if *quick {
 			opts.InnerReps = 1
 			opts.OuterReps = 2
 		}
-		progs, err := core.Generate(f, core.GenerateOptions{})
+		var tracer *obs.Tracer
+		if *traceOut != "" {
+			tracer = obs.New()
+			opts.Tracer = tracer
+		}
+		progs, err := core.Generate(f, core.GenerateOptions{Tracer: tracer})
 		if err != nil {
 			fail(err)
 		}
@@ -112,7 +127,22 @@ func main() {
 			fmt.Printf("analytic screening: %d of %d variants kept for measurement\n", len(kept), len(progs))
 			progs = kept
 		}
-		ms, err := core.LaunchAll(progs, opts, 0)
+		// Campaign progress: variants done/total with an ETA extrapolated
+		// from the elapsed measurement time.
+		started := time.Now()
+		progress := func(done, total int) {
+			elapsed := time.Since(started)
+			var eta time.Duration
+			if done > 0 {
+				eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
+			}
+			fmt.Fprintf(os.Stderr, "microtools: launched %d/%d variants (%.0f%%), elapsed %s, eta %s\n",
+				done, total, 100*float64(done)/float64(total), elapsed.Round(time.Second), eta)
+		}
+		if !*vFlag {
+			progress = nil
+		}
+		ms, err := core.LaunchAllProgress(progs, opts, 0, progress)
 		if err != nil {
 			fail(err)
 		}
@@ -124,10 +154,24 @@ func main() {
 				fail(err)
 			}
 			defer out.Close()
-			if err := launcher.WriteCSV(out, ms); err != nil {
+			if err := launcher.WriteReport(out, reportFormat, ms); err != nil {
 				fail(err)
 			}
-			fmt.Printf("csv: %s\n", *csvOut)
+			fmt.Printf("%s: %s\n", reportFormat, *csvOut)
+		}
+		if tracer != nil {
+			out, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := tracer.WriteFileFormat(out, *traceOut); err != nil {
+				out.Close()
+				fail(err)
+			}
+			if err := out.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("trace: %s (%d spans)\n", *traceOut, len(tracer.Records()))
 		}
 	case *expID != "":
 		e, err := experiments.ByID(*expID)

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"microtools/internal/analytic"
 	"microtools/internal/asm"
@@ -22,6 +23,7 @@ import (
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
+	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
 	"microtools/internal/xmlspec"
@@ -43,11 +45,16 @@ type GenerateOptions struct {
 	Customize func(*passes.Manager) error
 	// Verbose receives per-pass progress.
 	Verbose io.Writer
+	// Tracer, when non-nil, records the generation pipeline as a span tree:
+	// "generate" > "xmlspec.parse" + "passes" > one span per pass.
+	Tracer *obs.Tracer
 }
 
 // Generate runs MicroCreator over an XML kernel description.
 func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
-	kernels, err := xmlspec.Parse(r)
+	root := opts.Tracer.Start("generate")
+	defer root.End()
+	kernels, err := xmlspec.ParseTraced(r, root)
 	if err != nil {
 		return nil, err
 	}
@@ -65,10 +72,12 @@ func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
 		EmitAssembly: !opts.DisableAssembly,
 		EmitC:        opts.EmitC,
 		Verbose:      opts.Verbose,
+		Trace:        root,
 	}
 	if _, err := m.Run(ctx, kernels); err != nil {
 		return nil, err
 	}
+	root.Int("programs", int64(len(ctx.Programs)))
 	return ctx.Programs, nil
 }
 
@@ -187,6 +196,14 @@ func RunParallel(xml io.Reader, gen GenerateOptions, launch launcher.Options, wo
 // LaunchAll measures every generated program over a worker pool (see
 // RunParallel), returning measurements in program order.
 func LaunchAll(progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
+	return LaunchAllProgress(progs, launch, workers, nil)
+}
+
+// LaunchAllProgress is LaunchAll with a campaign-progress callback:
+// onDone(done, total) fires after each variant finishes (from whichever
+// worker goroutine finished it; done counts completions, not program
+// order). nil disables the callback.
+func LaunchAllProgress(progs []codegen.Program, launch launcher.Options, workers int, onDone func(done, total int)) ([]*launcher.Measurement, error) {
 	if len(progs) == 0 {
 		return nil, fmt.Errorf("core: no programs to launch")
 	}
@@ -196,11 +213,19 @@ func LaunchAll(progs []codegen.Program, launch launcher.Options, workers int) ([
 	if workers > len(progs) {
 		workers = len(progs)
 	}
+	total := len(progs)
+	var done int64
+	report := func() {
+		if onDone != nil {
+			onDone(int(atomic.AddInt64(&done, 1)), total)
+		}
+	}
 	out := make([]*launcher.Measurement, len(progs))
 	errs := make([]error, len(progs))
 	if workers <= 1 {
 		for i := range progs {
 			out[i], errs[i] = launchOne(&progs[i], launch)
+			report()
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -211,6 +236,7 @@ func LaunchAll(progs []codegen.Program, launch launcher.Options, workers int) ([
 				defer wg.Done()
 				for i := range next {
 					out[i], errs[i] = launchOne(&progs[i], launch)
+					report()
 				}
 			}()
 		}

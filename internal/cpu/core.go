@@ -49,6 +49,16 @@ type Result struct {
 	Insts int64
 	// Mix is the dynamic instruction class breakdown.
 	Mix Mix
+	// Mispredicts counts conditional branches resolved against the
+	// predictor's direction.
+	Mispredicts int64
+	// FrontendStalls accumulates cycles the frontend spent refilling:
+	// ROB-full backpressure, mispredict redirects and taken-branch fetch
+	// bubbles (the simulated-PMU frontend-stall counter).
+	FrontendStalls int64
+	// IRQStalls accumulates cycles stolen by injected interrupts (§4.7
+	// noise); zero on quiet runs.
+	IRQStalls int64
 	// Truncated reports that execution stopped at the instruction budget
 	// rather than at RET.
 	Truncated bool
@@ -100,6 +110,11 @@ type Core struct {
 	mix           Mix
 	maxInsts      int64
 	truncated     bool
+
+	// Simulated-PMU pipeline counters (exported through Result).
+	mispredicts    int64
+	frontendStalls int64
+	irqStalls      int64
 
 	startCycle int64
 }
@@ -172,6 +187,9 @@ func (c *Core) Reset(prog *isa.Program, regs *isa.RegFile, startCycle int64, max
 	c.mix = Mix{}
 	c.maxInsts = maxInsts
 	c.truncated = false
+	c.mispredicts = 0
+	c.frontendStalls = 0
+	c.irqStalls = 0
 	c.startCycle = startCycle
 	return nil
 }
@@ -189,10 +207,13 @@ func (c *Core) Reg(r isa.Reg) uint64 { return c.regs.Get(r) }
 // Result returns the invocation summary; valid once Done.
 func (c *Core) Result() Result {
 	return Result{
-		Cycles:    c.maxCompletion - c.startCycle,
-		Insts:     c.dynInsts,
-		Mix:       c.mix,
-		Truncated: c.truncated,
+		Cycles:         c.maxCompletion - c.startCycle,
+		Insts:          c.dynInsts,
+		Mix:            c.mix,
+		Mispredicts:    c.mispredicts,
+		FrontendStalls: c.frontendStalls,
+		IRQStalls:      c.irqStalls,
+		Truncated:      c.truncated,
 	}
 }
 
@@ -201,6 +222,7 @@ func (c *Core) Stall(cycles int64) {
 	if cycles > 0 {
 		c.frontCycle += cycles
 		c.frontSlots = 0
+		c.irqStalls += cycles
 	}
 }
 
@@ -393,6 +415,7 @@ func (c *Core) stepInst() error {
 		dispatch := c.robSlot(slot, completion)
 		if dispatch > c.frontCycle {
 			// ROB full: the frontend stalls.
+			c.frontendStalls += dispatch - c.frontCycle
 			c.frontCycle = dispatch
 			c.frontSlots = 0
 		}
@@ -441,8 +464,10 @@ func (c *Core) stepInst() error {
 		predicted := c.predCtr[c.pc] >= 2
 		if taken != predicted {
 			// Mispredict: refill after resolution.
+			c.mispredicts++
 			resolve := lastCompletion + int64(c.arch.BranchMissPenalty)
 			if resolve > c.frontCycle {
+				c.frontendStalls += resolve - c.frontCycle
 				c.frontCycle = resolve
 				c.frontSlots = 0
 			}
@@ -462,6 +487,7 @@ func (c *Core) stepInst() error {
 		// Larger bodies end the issue group and pay the fetch redirect.
 		if c.slotsSinceTaken > c.arch.LSDSize {
 			c.frontCycle += 1 + int64(c.arch.TakenBranchBubble)
+			c.frontendStalls += 1 + int64(c.arch.TakenBranchBubble)
 			c.frontSlots = 0
 		}
 		c.slotsSinceTaken = 0

@@ -1,0 +1,265 @@
+package launcher
+
+import (
+	"fmt"
+	"testing"
+
+	"microtools/internal/asm"
+	"microtools/internal/machine"
+	"microtools/internal/obs"
+)
+
+// counterKernel is a simple streaming load kernel: one movaps (16 bytes)
+// per iteration, %eax counts iterations.
+const counterKernel = `
+.L0:
+movaps (%rsi), %xmm0
+add $16, %rsi
+add $1, %eax
+sub $4, %rdi
+jge .L0
+ret`
+
+// counterStoreKernel mixes a load and a store stream.
+const counterStoreKernel = `
+.L0:
+movaps (%rsi), %xmm0
+movaps %xmm0, (%rdx)
+add $16, %rsi
+add $16, %rdx
+add $1, %eax
+sub $4, %rdi
+jge .L0
+ret`
+
+func launchCounters(t *testing.T, src string, mutate func(*Options)) *Measurement {
+	t.Helper()
+	prog, err := asm.ParseOne(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 2 << 10
+	opts.InnerReps = 2
+	opts.OuterReps = 2
+	opts.CollectCounters = true
+	if mutate != nil {
+		mutate(&opts)
+	}
+	m, err := Launch(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters == nil {
+		t.Fatal("CollectCounters set but Counters nil")
+	}
+	return m
+}
+
+// lineSizeOf returns the machine's L1 line size for invariant checks.
+func lineSizeOf(t *testing.T, name string) int64 {
+	t.Helper()
+	desc, err := machine.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return desc.Hierarchy.L1.LineSize
+}
+
+// TestCountersDeltaCapture: counters are captured as a delta around the
+// measured region only, so toggling warm-up changes cache temperature but
+// never the measured access counts — warm-up's own touch traffic must not
+// appear (the nanoBench counter-read placement, simulated).
+func TestCountersDeltaCapture(t *testing.T) {
+	warm := launchCounters(t, counterKernel, func(o *Options) { o.Warmup = true })
+	cold := launchCounters(t, counterKernel, func(o *Options) { o.Warmup = false })
+
+	if warm.Counters.Mem.Loads != cold.Counters.Mem.Loads {
+		t.Errorf("measured loads differ with warmup on/off: %d vs %d — warm-up traffic leaked into the counters",
+			warm.Counters.Mem.Loads, cold.Counters.Mem.Loads)
+	}
+	// One movaps per iteration, InnerReps×OuterReps calls in the measured
+	// region: the load count is fully determined.
+	wantLoads := int64(warm.Iterations) * 2 * 2
+	if warm.Counters.Mem.Loads != wantLoads {
+		t.Errorf("measured loads = %d, want %d (iterations %d x 4 calls)",
+			warm.Counters.Mem.Loads, wantLoads, warm.Iterations)
+	}
+	// An L1-resident warmed run hits nearly always; a cold run pays the
+	// compulsory misses inside the measured region.
+	if warm.Counters.Mem.L1Hits == 0 {
+		t.Error("warmed L1-resident run reports zero L1 hits")
+	}
+	if warm.Counters.Mem.L1Misses >= cold.Counters.Mem.L1Misses {
+		t.Errorf("warmed run L1 misses (%d) not below cold run (%d)",
+			warm.Counters.Mem.L1Misses, cold.Counters.Mem.L1Misses)
+	}
+	if hr := warm.Counters.L1HitRate(); hr < 0.95 {
+		t.Errorf("warmed L1-resident hit rate = %.3f, want >= 0.95", hr)
+	}
+	// Quiet runs must not report interrupt stalls.
+	if warm.Counters.InterruptStallCycles != 0 {
+		t.Errorf("interrupt stalls %d on an interrupt-disabled run", warm.Counters.InterruptStallCycles)
+	}
+	if warm.Counters.RetiredInsts == 0 || warm.Counters.CoreCycles == 0 {
+		t.Errorf("pipeline counters empty: %+v", warm.Counters)
+	}
+}
+
+// TestCountersInvariantsProperty: for any kernel/machine/mode/size/noise
+// combination, the exported measured-region delta must satisfy the memory
+// hierarchy's structural identities (see obs.Counters.CheckInvariants).
+func TestCountersInvariantsProperty(t *testing.T) {
+	kernels := map[string]string{"load": counterKernel, "loadstore": counterStoreKernel}
+	machines := []string{"nehalem-dual/8", "nehalem-quad/8", "sandybridge/8"}
+	sizes := []int64{2 << 10, 64 << 10, 1 << 20}
+	for kname, src := range kernels {
+		for _, mname := range machines {
+			for _, size := range sizes {
+				for _, noisy := range []bool{false, true} {
+					name := fmt.Sprintf("%s/%s/%d/noisy=%t", kname, mname, size, noisy)
+					t.Run(name, func(t *testing.T) {
+						m := launchCounters(t, src, func(o *Options) {
+							o.MachineName = mname
+							o.ArrayBytes = size
+							if noisy {
+								o.DisableInterrupts = false
+								o.NoiseSeed = 42
+							}
+						})
+						if err := m.Counters.CheckInvariants(lineSizeOf(t, mname)); err != nil {
+							t.Errorf("invariants violated: %v", err)
+						}
+						if m.Counters.Branches == 0 {
+							t.Error("loop kernel retired zero branches")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCountersInvariantsAcrossModes: fork and OpenMP measured regions
+// satisfy the same identities, and the aggregate covers every core.
+func TestCountersInvariantsAcrossModes(t *testing.T) {
+	seq := launchCounters(t, counterKernel, nil)
+	fork := launchCounters(t, counterKernel, func(o *Options) { o.Mode = Fork; o.Cores = 2 })
+	omp := launchCounters(t, counterKernel, func(o *Options) { o.Mode = OpenMP; o.Cores = 2 })
+	line := lineSizeOf(t, "nehalem-dual/8")
+	for name, m := range map[string]*Measurement{"seq": seq, "fork": fork, "omp": omp} {
+		if err := m.Counters.CheckInvariants(line); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Fork runs the same kernel on 2 cores: twice the retired instructions.
+	if fork.Counters.RetiredInsts != 2*seq.Counters.RetiredInsts {
+		t.Errorf("fork retired %d insts, want 2x sequential %d",
+			fork.Counters.RetiredInsts, seq.Counters.RetiredInsts)
+	}
+}
+
+// TestNoiseCountersAndStalls: enabling interrupts surfaces in the
+// interrupt-stall counter and nowhere else structural.
+func TestNoiseCountersAndStalls(t *testing.T) {
+	noisy := launchCounters(t, counterKernel, func(o *Options) {
+		o.DisableInterrupts = false
+		o.NoiseSeed = 7
+		// The default noise interval is tens of thousands of cycles; a
+		// RAM-resident stream with several reps is long enough to be hit.
+		o.ArrayBytes = 1 << 20
+		o.InnerReps = 4
+		o.OuterReps = 4
+	})
+	if noisy.Counters.InterruptStallCycles == 0 {
+		t.Error("noisy run recorded zero interrupt-stall cycles")
+	}
+	if err := noisy.Counters.CheckInvariants(lineSizeOf(t, "nehalem-dual/8")); err != nil {
+		t.Errorf("noisy run breaks invariants: %v", err)
+	}
+}
+
+// TestLaunchTraceSpans: a traced launch produces the span hierarchy the
+// Chrome exporter renders — launch > warmup/calibrate/measure > rep >
+// sim.run — with simulated-cycle bounds attached.
+func TestLaunchTraceSpans(t *testing.T) {
+	tr := obs.New()
+	launchCounters(t, counterKernel, func(o *Options) {
+		o.Tracer = tr
+		o.OuterReps = 3
+	})
+
+	launch, err := tr.Find("launch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"warmup", "calibrate", "measure"} {
+		r, err := tr.Find(phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ParentID != launch.ID {
+			t.Errorf("%s parent = %d, want launch %d", phase, r.ParentID, launch.ID)
+		}
+		if !r.HasCycles || r.CycleEnd < r.CycleStart {
+			t.Errorf("%s has no valid cycle bounds: %+v", phase, r)
+		}
+		if r.End.IsZero() {
+			t.Errorf("%s span never ended", phase)
+		}
+	}
+	measure, _ := tr.Find("measure")
+	reps := tr.FindAll("rep")
+	if len(reps) != 3 {
+		t.Fatalf("got %d rep spans, want 3", len(reps))
+	}
+	for _, r := range reps {
+		if r.ParentID != measure.ID {
+			t.Errorf("rep parent = %d, want measure %d", r.ParentID, measure.ID)
+		}
+	}
+	runs := tr.FindAll("sim.run")
+	if len(runs) == 0 {
+		t.Fatal("no sim.run spans recorded")
+	}
+	repIDs := map[int]bool{}
+	for _, r := range reps {
+		repIDs[r.ID] = true
+	}
+	calibrate, _ := tr.Find("calibrate")
+	for _, r := range runs {
+		if !repIDs[r.ParentID] && r.ParentID != calibrate.ID {
+			t.Errorf("sim.run parent %d is neither a rep nor calibrate", r.ParentID)
+		}
+	}
+}
+
+// TestUntracedMachineLeavesNoSpans: after a traced launch, reusing the
+// machine without a tracer must not record anything (the launcher resets
+// the machine's trace span on exit).
+func TestUntracedMachineLeavesNoSpans(t *testing.T) {
+	prog, err := asm.ParseOne(counterKernel, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	opts := DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 2 << 10
+	opts.InnerReps = 1
+	opts.OuterReps = 1
+	opts.Tracer = tr
+	if _, err := Launch(prog, opts); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Records())
+	// Second launch on the same tracer-less options must add nothing.
+	opts.Tracer = nil
+	if _, err := Launch(prog, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Records()); got != n {
+		t.Errorf("untraced launch added %d spans", got-n)
+	}
+}

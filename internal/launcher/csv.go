@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -21,7 +22,14 @@ func WriteCSV(w io.Writer, ms []*Measurement) error {
 	if err := cw.Write(CSVHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	// NaN/Inf (e.g. cv of an all-zero sample set) render as empty cells:
+	// literal "NaN" breaks downstream CSV consumers that parse numerics.
+	f := func(v float64) string {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', 8, 64)
+	}
 	for _, m := range ms {
 		row := []string{
 			m.Kernel,

@@ -7,6 +7,7 @@ import (
 	"microtools/internal/isa"
 	"microtools/internal/machine"
 	"microtools/internal/memsim"
+	"microtools/internal/obs"
 	"microtools/internal/openmp"
 	"microtools/internal/power"
 	"microtools/internal/sim"
@@ -44,6 +45,9 @@ type Measurement struct {
 	// MemStats snapshots the memory system counters over the measured
 	// portion.
 	MemStats memsim.Stats
+	// Counters is the simulated-PMU snapshot over the measured region
+	// (nil unless Options.CollectCounters).
+	Counters *obs.Counters
 	// Energy is the §7 power-model estimate (nil unless requested).
 	Energy *power.Estimate
 }
@@ -144,6 +148,13 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 		}
 	}
 
+	root := opts.Tracer.Start("launch").
+		Str("kernel", prog.Name).
+		Str("mode", opts.Mode.String()).
+		Str("machine", opts.MachineName)
+	defer root.End()
+	defer mach.SetTraceSpan(obs.Span{})
+
 	nArrays := opts.NBVectors
 	if nArrays == 0 {
 		nArrays = NumArraysOf(prog)
@@ -228,17 +239,23 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 
 	// Warm-up (§4.5): touch every array's footprint on its core.
 	if opts.Warmup {
+		wsp := root.Child("warmup")
+		wstart := mach.Now()
 		for i, core := range pins {
 			for _, b := range procArrays[i] {
 				mach.Touch(core, b, opts.ArrayBytes)
 			}
 		}
+		wsp.Cycles(wstart, mach.Now()).End()
 		logf("warmup done at machine cycle %d", mach.Now())
 	}
 
 	// Calibration (§4.5): time the empty kernel.
 	overhead := 0.0
 	if opts.Calibrate {
+		csp := root.Child("calibrate")
+		cstart := mach.Now()
+		mach.SetTraceSpan(csp)
 		cal := calibrationProgram()
 		var rf isa.RegFile
 		res, err := mach.RunOne(sim.Job{Core: pins[0], Prog: cal, Regs: rf})
@@ -246,6 +263,7 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 			return nil, err
 		}
 		overhead = float64(res.Cycles)
+		csp.Float("overhead_cycles", overhead).Cycles(cstart, mach.Now()).End()
 		logf("calibrated overhead: %.0f cycles/call", overhead)
 	}
 
@@ -260,14 +278,25 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 		meas.Arrays = append(meas.Arrays, bases...)
 	}
 
-	mach.Sys.ResetStats()
+	// Measured region: counters are captured as a delta around the loop
+	// below, so warm-up and calibration traffic never pollute them (the
+	// simulated analogue of nanoBench's counter-read placement).
+	memBefore := mach.Sys.Stats()
+	msp := root.Child("measure").
+		Int("outer_reps", int64(opts.OuterReps)).
+		Int("inner_reps", int64(opts.InnerReps))
+	measStart := mach.Now()
 	samples := make([]float64, 0, opts.OuterReps)
 	var iterations uint64
 	var totalMix cpu.Mix
 	var totalInsts int64
 	var totalCycles float64
+	var pipe obs.Counters // pipeline-counter aggregate over measured jobs
 
 	for rep := 0; rep < opts.OuterReps; rep++ {
+		rsp := msp.Child("rep").Int("rep", int64(rep))
+		repStart := mach.Now()
+		mach.SetTraceSpan(rsp)
 		var perCallCycles float64
 		var repIters uint64
 		switch opts.Mode {
@@ -294,6 +323,10 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 					sum += float64(r.Cycles)
 					totalMix.Add(r.Mix)
 					totalInsts += r.Insts
+					pipe.CoreCycles += r.Cycles
+					pipe.BranchMispredicts += r.Mispredicts
+					pipe.FrontendStallCycles += r.FrontendStalls
+					pipe.InterruptStallCycles += r.IRQStalls
 					if r.Truncated {
 						meas.Truncated = true
 					}
@@ -344,6 +377,10 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 				repIters += res.Iterations
 				totalMix.Add(res.Mix)
 				totalInsts += res.Insts
+				pipe.CoreCycles += res.Cycles
+				pipe.BranchMispredicts += res.Mispredicts
+				pipe.FrontendStallCycles += res.FrontendStalls
+				pipe.InterruptStallCycles += res.IRQStalls
 				if res.Truncated {
 					meas.Truncated = true
 				}
@@ -371,13 +408,23 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 			value /= mach.CoreFrequency() * 1e9
 		}
 		samples = append(samples, value)
+		rsp.Float("value", value).Cycles(repStart, mach.Now()).End()
 		logf("rep %d: %.4f %s", rep, value, opts.TimeUnit)
 	}
+	mach.SetTraceSpan(obs.Span{})
+	msp.Cycles(measStart, mach.Now()).End()
 
 	meas.Iterations = iterations
 	meas.Summary = stats.Summarize(samples)
 	meas.Value = opts.Statistic.Of(meas.Summary)
-	meas.MemStats = mach.Sys.Stats()
+	meas.MemStats = mach.Sys.Stats().Sub(memBefore)
+	if opts.CollectCounters {
+		c := pipe
+		c.Mem = meas.MemStats
+		c.RetiredInsts = totalInsts
+		c.Branches = totalMix.Branches
+		meas.Counters = &c
+	}
 	if opts.PerIteration && !meas.Truncated && iterations > 0 {
 		if perIter := float64(trip) / float64(iterations); perIter > 0 {
 			meas.ValuePerElement = meas.Value / perIter

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 
+	"microtools/internal/obs"
 	"microtools/internal/stats"
 )
 
@@ -162,6 +163,17 @@ type Options struct {
 	PerIteration bool
 	// Verbose, when non-nil, receives protocol progress lines.
 	Verbose io.Writer
+
+	// --- observability -----------------------------------------------------
+
+	// Tracer, when non-nil, records hierarchical spans over the whole
+	// protocol (warm-up, calibration, each measurement repetition, and the
+	// simulator runs underneath). Nil is the zero-overhead default.
+	Tracer *obs.Tracer
+	// CollectCounters attaches a simulated-PMU Counters snapshot to the
+	// measurement, captured as a delta over the measured region only (so
+	// warm-up and calibration traffic never pollute the counts).
+	CollectCounters bool
 }
 
 // TimeUnit is the launcher's reporting unit.

@@ -1,0 +1,182 @@
+package launcher
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"microtools/internal/obs"
+)
+
+// ReportFormat selects the launcher's result encoding.
+type ReportFormat int
+
+const (
+	// ReportCSV is the paper's generic CSV table (§4.3), the default.
+	ReportCSV ReportFormat = iota
+	// ReportJSON is the structured report: full summary statistics plus
+	// the optional simulated-PMU counters and derived metrics.
+	ReportJSON
+)
+
+func (f ReportFormat) String() string {
+	switch f {
+	case ReportCSV:
+		return "csv"
+	case ReportJSON:
+		return "json"
+	}
+	return fmt.Sprintf("ReportFormat(%d)", int(f))
+}
+
+// ParseReportFormat parses the -report option.
+func ParseReportFormat(s string) (ReportFormat, error) {
+	switch s {
+	case "csv":
+		return ReportCSV, nil
+	case "json":
+		return ReportJSON, nil
+	}
+	return 0, fmt.Errorf("launcher: unknown report format %q (want csv|json)", s)
+}
+
+// jsonFloat marshals NaN/Inf as null (encoding/json rejects them) so a
+// report never fails to encode on a degenerate statistic like cv of an
+// all-zero sample set.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// reportSummary is the distribution block of one report entry.
+type reportSummary struct {
+	N      int       `json:"n"`
+	Min    jsonFloat `json:"min"`
+	Median jsonFloat `json:"median"`
+	Mean   jsonFloat `json:"mean"`
+	Max    jsonFloat `json:"max"`
+	StdDev jsonFloat `json:"stddev"`
+	CV     jsonFloat `json:"cv"`
+}
+
+// reportDerived is the derived-metric block computed from a counter
+// snapshot (the explanatory metrics performance engineers reach for
+// first).
+type reportDerived struct {
+	CPI            jsonFloat `json:"cycles_per_inst"`
+	IPC            jsonFloat `json:"insts_per_cycle"`
+	L1HitRate      jsonFloat `json:"l1_hit_rate"`
+	L1MPKI         jsonFloat `json:"l1_mpki"`
+	L2MPKI         jsonFloat `json:"l2_mpki"`
+	L3MPKI         jsonFloat `json:"l3_mpki"`
+	MispredictRate jsonFloat `json:"mispredict_rate"`
+}
+
+// reportCounters pairs the raw snapshot with its derived metrics.
+type reportCounters struct {
+	*obs.Counters
+	Derived reportDerived `json:"derived"`
+}
+
+// reportEnergy is the §7 power-model block.
+type reportEnergy struct {
+	TotalJoules jsonFloat `json:"total_joules"`
+	AvgWatts    jsonFloat `json:"avg_watts"`
+}
+
+// reportEntry is one measurement in the JSON report.
+type reportEntry struct {
+	Kernel          string          `json:"kernel"`
+	Mode            string          `json:"mode"`
+	Cores           int             `json:"cores"`
+	Unit            string          `json:"unit"`
+	Value           jsonFloat       `json:"value"`
+	ValuePerElement jsonFloat       `json:"value_per_element,omitempty"`
+	Summary         reportSummary   `json:"summary"`
+	Iterations      uint64          `json:"iterations"`
+	OverheadCycles  jsonFloat       `json:"overhead_cycles"`
+	Truncated       bool            `json:"truncated"`
+	Arrays          []uint64        `json:"arrays,omitempty"`
+	Counters        *reportCounters `json:"counters,omitempty"`
+	Energy          *reportEnergy   `json:"energy,omitempty"`
+}
+
+// jsonReport is the whole document: a versioned envelope so downstream
+// consumers can evolve with the schema.
+type jsonReport struct {
+	Version      int           `json:"version"`
+	Measurements []reportEntry `json:"measurements"`
+}
+
+// WriteJSON renders measurements as the launcher's JSON report: everything
+// the CSV carries, plus the full summary distribution, the simulated-PMU
+// counters (when collected) and their derived metrics. Counter semantics:
+// deltas over the measured region only (see Options.CollectCounters).
+func WriteJSON(w io.Writer, ms []*Measurement) error {
+	doc := jsonReport{Version: 1, Measurements: make([]reportEntry, 0, len(ms))}
+	for _, m := range ms {
+		e := reportEntry{
+			Kernel:          m.Kernel,
+			Mode:            m.Mode.String(),
+			Cores:           m.Cores,
+			Unit:            m.Unit.String(),
+			Value:           jsonFloat(m.Value),
+			ValuePerElement: jsonFloat(m.ValuePerElement),
+			Summary: reportSummary{
+				N:      m.Summary.N,
+				Min:    jsonFloat(m.Summary.Min),
+				Median: jsonFloat(m.Summary.Median),
+				Mean:   jsonFloat(m.Summary.Mean),
+				Max:    jsonFloat(m.Summary.Max),
+				StdDev: jsonFloat(m.Summary.StdDev),
+				CV:     jsonFloat(m.Summary.CV()),
+			},
+			Iterations:     m.Iterations,
+			OverheadCycles: jsonFloat(m.OverheadCycles),
+			Truncated:      m.Truncated,
+			Arrays:         m.Arrays,
+		}
+		if m.Counters != nil {
+			c := m.Counters
+			e.Counters = &reportCounters{
+				Counters: c,
+				Derived: reportDerived{
+					CPI:            jsonFloat(c.CPI()),
+					IPC:            jsonFloat(c.IPC()),
+					L1HitRate:      jsonFloat(c.L1HitRate()),
+					L1MPKI:         jsonFloat(c.L1MPKI()),
+					L2MPKI:         jsonFloat(c.L2MPKI()),
+					L3MPKI:         jsonFloat(c.L3MPKI()),
+					MispredictRate: jsonFloat(c.MispredictRate()),
+				},
+			}
+		}
+		if m.Energy != nil {
+			e.Energy = &reportEnergy{
+				TotalJoules: jsonFloat(m.Energy.TotalJoules),
+				AvgWatts:    jsonFloat(m.Energy.AvgWatts),
+			}
+		}
+		doc.Measurements = append(doc.Measurements, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteReport dispatches on the format.
+func WriteReport(w io.Writer, format ReportFormat, ms []*Measurement) error {
+	switch format {
+	case ReportJSON:
+		return WriteJSON(w, ms)
+	default:
+		return WriteCSV(w, ms)
+	}
+}

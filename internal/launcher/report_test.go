@@ -1,0 +1,195 @@
+package launcher
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microtools/internal/memsim"
+	"microtools/internal/obs"
+	"microtools/internal/power"
+	"microtools/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenMeasurements is a deterministic fixture covering both the
+// Energy/Counters-attached and the bare paths, plus a degenerate all-zero
+// summary whose cv is NaN.
+func goldenMeasurements() []*Measurement {
+	full := &Measurement{
+		Kernel:          "movaps_u4",
+		Mode:            Sequential,
+		Cores:           1,
+		Value:           1.25,
+		Unit:            UnitTSC,
+		Summary:         stats.Summarize([]float64{1.25, 1.5, 1.75, 1.25}),
+		Iterations:      4096,
+		ValuePerElement: 0.3125,
+		OverheadCycles:  30,
+		Arrays:          []uint64{0x7f0000000000},
+		MemStats: memsim.Stats{
+			Loads: 16384, L1Hits: 16320, L1Misses: 64,
+			L2Hits: 32, L2Misses: 32, L3Hits: 24, L3Misses: 8,
+			MemAccesses: 8, BytesFromMemory: 512,
+		},
+		Counters: &obs.Counters{
+			Mem: memsim.Stats{
+				Loads: 16384, L1Hits: 16320, L1Misses: 64,
+				L2Hits: 32, L2Misses: 32, L3Hits: 24, L3Misses: 8,
+				MemAccesses: 8, BytesFromMemory: 512,
+			},
+			RetiredInsts:        81920,
+			Branches:            16384,
+			BranchMispredicts:   16,
+			FrontendStallCycles: 512,
+			CoreCycles:          20480,
+		},
+		Energy: &power.Estimate{TotalJoules: 0.0125, AvgWatts: 62.5},
+	}
+	bare := &Measurement{
+		Kernel:  "calibration_like",
+		Mode:    Fork,
+		Cores:   2,
+		Value:   0,
+		Unit:    UnitCoreCycles,
+		Summary: stats.Summarize([]float64{0, 0, 0}),
+	}
+	return []*Measurement{full, bare}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -run Golden -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestJSONReportGolden pins the JSON report schema.
+func TestJSONReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenMeasurements()); err != nil {
+		t.Fatal(err)
+	}
+	// The report must always be valid JSON, NaN statistics included.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	checkGolden(t, "report_golden.json", buf.Bytes())
+}
+
+// TestCSVGolden pins the CSV output for both the Energy != nil and nil
+// paths (previously only exercised indirectly via energy_test.go).
+func TestCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenMeasurements()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "csv_golden.csv", buf.Bytes())
+}
+
+// TestCSVNaNRendering: NaN/Inf statistics must render as empty cells, not
+// "NaN", which breaks downstream parsers. Summary.CV guards the zero-mean
+// case itself, so the fixture injects non-finite values directly — the
+// formatter must be robust no matter which statistic degenerates.
+func TestCSVNaNRendering(t *testing.T) {
+	m := &Measurement{
+		Kernel: "zeros",
+		Mode:   Sequential,
+		Cores:  1,
+		Unit:   UnitTSC,
+		Value:  math.NaN(),
+		Summary: stats.Summary{
+			N: 2, Min: math.Inf(-1), Max: math.Inf(1),
+			Mean: math.NaN(), Median: 0, StdDev: math.NaN(),
+		},
+	}
+	if cv := m.Summary.CV(); cv == cv { // NaN != NaN
+		t.Fatalf("fixture cv = %f, expected NaN", cv)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Measurement{m}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf", "+Inf", "-Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("CSV output contains %q:\n%s", bad, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV lines, want 2", len(lines))
+	}
+	fields := strings.Split(lines[1], ",")
+	header := strings.Split(lines[0], ",")
+	if len(fields) != len(header) {
+		t.Fatalf("row has %d fields, header %d", len(fields), len(header))
+	}
+	cvIdx := -1
+	for i, h := range header {
+		if h == "cv" {
+			cvIdx = i
+		}
+	}
+	if cvIdx < 0 || fields[cvIdx] != "" {
+		t.Errorf("cv cell = %q, want empty", fields[cvIdx])
+	}
+}
+
+// TestReportFormatParsing covers the -report flag surface.
+func TestReportFormatParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ReportFormat
+	}{{"csv", ReportCSV}, {"json", ReportJSON}} {
+		got, err := ParseReportFormat(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseReportFormat(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseReportFormat("xml"); err == nil {
+		t.Error("ParseReportFormat accepted xml")
+	}
+}
+
+// TestWriteReportDispatch: WriteReport routes to the right encoder.
+func TestWriteReportDispatch(t *testing.T) {
+	ms := goldenMeasurements()
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteReport(&csvBuf, ReportCSV, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&jsonBuf, ReportJSON, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "kernel,") {
+		t.Errorf("csv dispatch output = %q", csvBuf.String()[:40])
+	}
+	if !strings.Contains(jsonBuf.String(), `"measurements"`) {
+		t.Error("json dispatch output missing measurements")
+	}
+}

@@ -153,17 +153,77 @@ func (h HierarchyConfig) Validate() error {
 
 // Stats aggregates event counts across the system's lifetime.
 type Stats struct {
-	Loads, Stores             int64
-	L1Hits, L1Misses          int64
-	L2Hits, L2Misses          int64
-	L3Hits, L3Misses          int64
-	MemAccesses               int64
-	Writebacks                int64
-	BankConflicts             int64
-	AliasStalls               int64
-	LineSplits                int64
-	Prefetches, PrefetchHits  int64
-	MSHRMerges, MSHRFullWaits int64
-	RowMisses                 int64
-	BytesFromMemory           int64
+	Loads           int64 `json:"loads"`
+	Stores          int64 `json:"stores"`
+	L1Hits          int64 `json:"l1_hits"`
+	L1Misses        int64 `json:"l1_misses"`
+	L2Hits          int64 `json:"l2_hits"`
+	L2Misses        int64 `json:"l2_misses"`
+	L3Hits          int64 `json:"l3_hits"`
+	L3Misses        int64 `json:"l3_misses"`
+	MemAccesses     int64 `json:"mem_accesses"`
+	Writebacks      int64 `json:"writebacks"`
+	BankConflicts   int64 `json:"bank_conflicts"`
+	AliasStalls     int64 `json:"alias_stalls"`
+	LineSplits      int64 `json:"line_splits"`
+	Prefetches      int64 `json:"prefetches"`
+	PrefetchHits    int64 `json:"prefetch_hits"`
+	MSHRMerges      int64 `json:"mshr_merges"`
+	MSHRFullWaits   int64 `json:"mshr_full_waits"`
+	RowMisses       int64 `json:"row_misses"`
+	BytesFromMemory int64 `json:"bytes_from_memory"`
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Loads:           s.Loads + o.Loads,
+		Stores:          s.Stores + o.Stores,
+		L1Hits:          s.L1Hits + o.L1Hits,
+		L1Misses:        s.L1Misses + o.L1Misses,
+		L2Hits:          s.L2Hits + o.L2Hits,
+		L2Misses:        s.L2Misses + o.L2Misses,
+		L3Hits:          s.L3Hits + o.L3Hits,
+		L3Misses:        s.L3Misses + o.L3Misses,
+		MemAccesses:     s.MemAccesses + o.MemAccesses,
+		Writebacks:      s.Writebacks + o.Writebacks,
+		BankConflicts:   s.BankConflicts + o.BankConflicts,
+		AliasStalls:     s.AliasStalls + o.AliasStalls,
+		LineSplits:      s.LineSplits + o.LineSplits,
+		Prefetches:      s.Prefetches + o.Prefetches,
+		PrefetchHits:    s.PrefetchHits + o.PrefetchHits,
+		MSHRMerges:      s.MSHRMerges + o.MSHRMerges,
+		MSHRFullWaits:   s.MSHRFullWaits + o.MSHRFullWaits,
+		RowMisses:       s.RowMisses + o.RowMisses,
+		BytesFromMemory: s.BytesFromMemory + o.BytesFromMemory,
+	}
+}
+
+// Sub returns the field-wise delta s − o: the event counts accumulated
+// between two snapshots. Capturing Stats() before and after a measured
+// region and subtracting yields counters unpolluted by warm-up or
+// calibration traffic, without clobbering the system's cumulative totals
+// the way ResetStats does.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Loads:           s.Loads - o.Loads,
+		Stores:          s.Stores - o.Stores,
+		L1Hits:          s.L1Hits - o.L1Hits,
+		L1Misses:        s.L1Misses - o.L1Misses,
+		L2Hits:          s.L2Hits - o.L2Hits,
+		L2Misses:        s.L2Misses - o.L2Misses,
+		L3Hits:          s.L3Hits - o.L3Hits,
+		L3Misses:        s.L3Misses - o.L3Misses,
+		MemAccesses:     s.MemAccesses - o.MemAccesses,
+		Writebacks:      s.Writebacks - o.Writebacks,
+		BankConflicts:   s.BankConflicts - o.BankConflicts,
+		AliasStalls:     s.AliasStalls - o.AliasStalls,
+		LineSplits:      s.LineSplits - o.LineSplits,
+		Prefetches:      s.Prefetches - o.Prefetches,
+		PrefetchHits:    s.PrefetchHits - o.PrefetchHits,
+		MSHRMerges:      s.MSHRMerges - o.MSHRMerges,
+		MSHRFullWaits:   s.MSHRFullWaits - o.MSHRFullWaits,
+		RowMisses:       s.RowMisses - o.RowMisses,
+		BytesFromMemory: s.BytesFromMemory - o.BytesFromMemory,
+	}
 }

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// jsonlSpan is the JSONL wire form of one span.
+type jsonlSpan struct {
+	ID         int     `json:"id"`
+	Parent     int     `json:"parent,omitempty"`
+	Name       string  `json:"name"`
+	StartUs    float64 `json:"start_us"`
+	DurUs      float64 `json:"dur_us"`
+	CycleStart *int64  `json:"cycle_start,omitempty"`
+	CycleEnd   *int64  `json:"cycle_end,omitempty"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+}
+
+func microsSince(epoch, t time.Time) float64 {
+	return float64(t.Sub(epoch)) / float64(time.Microsecond)
+}
+
+// spanDur returns the span duration in microseconds (0 for unclosed spans).
+func spanDur(r *Record) float64 {
+	if r.End.IsZero() {
+		return 0
+	}
+	return float64(r.End.Sub(r.Start)) / float64(time.Microsecond)
+}
+
+// WriteJSONL writes every recorded span as one JSON object per line, in
+// span-open order. Timestamps are microseconds since the tracer epoch.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	epoch := t.Epoch()
+	for _, r := range t.Records() {
+		js := jsonlSpan{
+			ID:      r.ID,
+			Parent:  r.ParentID,
+			Name:    r.Name,
+			StartUs: microsSince(epoch, r.Start),
+			DurUs:   spanDur(&r),
+			Attrs:   r.Attrs,
+		}
+		if r.HasCycles {
+			cs, ce := r.CycleStart, r.CycleEnd
+			js.CycleStart, js.CycleEnd = &cs, &ce
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope form of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded spans in the Chrome trace_event
+// format (chrome://tracing, Perfetto). Each span becomes a "complete"
+// event; spans sharing a root ancestor share a tid, so concurrent
+// campaign launches render as parallel tracks while the spans within one
+// launch nest by time containment.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
+		return err
+	}
+	recs := t.Records()
+	epoch := t.Epoch()
+
+	// Map each span to its root ancestor for track (tid) assignment.
+	parent := make(map[int]int, len(recs))
+	for _, r := range recs {
+		parent[r.ID] = r.ParentID
+	}
+	rootOf := func(id int) int {
+		for parent[id] != 0 {
+			id = parent[id]
+		}
+		return id
+	}
+
+	// Unclosed spans (e.g. a trace dumped mid-failure) extend to the last
+	// recorded event so they stay visible.
+	var last time.Time
+	for _, r := range recs {
+		if r.End.After(last) {
+			last = r.End
+		}
+		if r.Start.After(last) {
+			last = r.Start
+		}
+	}
+
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(recs)), DisplayTimeUnit: "ns"}
+	for _, r := range recs {
+		end := r.End
+		if end.IsZero() {
+			end = last
+		}
+		ev := chromeEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   microsSince(epoch, r.Start),
+			Dur:  microsSince(r.Start, end),
+			Pid:  1,
+			Tid:  rootOf(r.ID),
+		}
+		if len(r.Attrs) > 0 || r.HasCycles {
+			ev.Args = make(map[string]any, len(r.Attrs)+2)
+			for _, a := range r.Attrs {
+				switch a.Value.Kind {
+				case "s":
+					ev.Args[a.Key] = a.Value.Str
+				case "i":
+					ev.Args[a.Key] = a.Value.Int
+				case "f":
+					ev.Args[a.Key] = a.Value.Float
+				}
+			}
+			if r.HasCycles {
+				ev.Args["cycle_start"] = r.CycleStart
+				ev.Args["cycle_end"] = r.CycleEnd
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	// Stable ordering: by start time, then id (Records is open-order, which
+	// is already start-ordered per goroutine; sorting makes it global).
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		if out.TraceEvents[i].Ts != out.TraceEvents[j].Ts {
+			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
+		}
+		return false
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFileFormat dispatches on the file name: names ending in ".jsonl"
+// get the JSONL sink, everything else the Chrome trace_event format.
+func (t *Tracer) WriteFileFormat(w io.Writer, name string) error {
+	if strings.HasSuffix(name, ".jsonl") {
+		return t.WriteJSONL(w)
+	}
+	return t.WriteChromeTrace(w)
+}
+
+// FindAll returns the recorded spans with the given name (test helper and
+// programmatic trace inspection).
+func (t *Tracer) FindAll(name string) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Find returns the first span with the given name, or an error.
+func (t *Tracer) Find(name string) (Record, error) {
+	for _, r := range t.Records() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Record{}, fmt.Errorf("obs: no span named %q", name)
+}

@@ -1,0 +1,184 @@
+// Package obs is the observability layer of the MicroTools reproduction:
+// hierarchical span tracing over the creator→launcher→simulator pipeline
+// and a simulated-PMU counter surface pairing every measurement with the
+// micro-architectural event counts behind it (the simulated analogue of
+// nanoBench-style hardware counter reads around the measured region).
+//
+// Tracing is opt-in and designed so that the disabled path costs nothing:
+// a nil *Tracer is the no-op default, every Span method nil-checks its
+// tracer and returns immediately, and no attribute or timestamp storage
+// is touched unless a live tracer is attached. Finished traces export as
+// JSONL (one span per line) or as the Chrome trace_event format, so a full
+// run opens directly in chrome://tracing or Perfetto.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// AttrValue is one span attribute value (string, integer or float).
+type AttrValue struct {
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	// Kind discriminates which field is set: "s", "i" or "f".
+	Kind string `json:"kind"`
+}
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string    `json:"key"`
+	Value AttrValue `json:"value"`
+}
+
+// Record is one finished (or still-open) span as stored by the tracer.
+type Record struct {
+	// ID is 1-based; ParentID 0 means a root span.
+	ID       int
+	ParentID int
+	Name     string
+	Attrs    []Attr
+	// Start/End are wall-clock bounds; End is zero while the span is open.
+	Start, End time.Time
+	// CycleStart/CycleEnd are simulated machine-cycle bounds; valid only
+	// when HasCycles is set (spans outside the simulator have none).
+	CycleStart, CycleEnd int64
+	HasCycles            bool
+}
+
+// Tracer collects spans. The zero value is NOT ready for use — construct
+// with New. A nil *Tracer is the canonical disabled tracer: Start on it
+// returns an inert Span and every downstream operation is a nil-check.
+// Tracers are safe for concurrent use (parallel campaign launches share
+// one tracer).
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Record
+}
+
+// New returns an empty, enabled tracer.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Epoch is the tracer's creation time; exported timestamps are relative
+// to it.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// Records returns a snapshot copy of all spans recorded so far.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Span is a lightweight handle on one tracer record. The zero Span is the
+// no-op span: all methods on it return immediately. Spans are values; copy
+// freely.
+type Span struct {
+	t  *Tracer
+	id int // 1-based index into t.spans
+}
+
+// Active reports whether the span records anywhere (false for the no-op
+// span).
+func (s Span) Active() bool { return s.t != nil }
+
+// Start opens a root span. On a nil tracer it returns the no-op span
+// without allocating.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.open(name, 0)
+}
+
+func (t *Tracer) open(name string, parent int) Span {
+	t.mu.Lock()
+	id := len(t.spans) + 1
+	t.spans = append(t.spans, Record{
+		ID:       id,
+		ParentID: parent,
+		Name:     name,
+		Start:    time.Now(),
+	})
+	t.mu.Unlock()
+	return Span{t: t, id: id}
+}
+
+// Child opens a sub-span of s.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.open(name, s.id)
+}
+
+// Str attaches a string attribute and returns the span for chaining.
+func (s Span) Str(key, val string) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	r.Attrs = append(r.Attrs, Attr{Key: key, Value: AttrValue{Kind: "s", Str: val}})
+	s.t.mu.Unlock()
+	return s
+}
+
+// Int attaches an integer attribute and returns the span for chaining.
+func (s Span) Int(key string, val int64) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	r.Attrs = append(r.Attrs, Attr{Key: key, Value: AttrValue{Kind: "i", Int: val}})
+	s.t.mu.Unlock()
+	return s
+}
+
+// Float attaches a float attribute and returns the span for chaining.
+func (s Span) Float(key string, val float64) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	r.Attrs = append(r.Attrs, Attr{Key: key, Value: AttrValue{Kind: "f", Float: val}})
+	s.t.mu.Unlock()
+	return s
+}
+
+// Cycles records the span's simulated machine-cycle bounds.
+func (s Span) Cycles(start, end int64) Span {
+	if s.t == nil {
+		return s
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	r.CycleStart, r.CycleEnd, r.HasCycles = start, end, true
+	s.t.mu.Unlock()
+	return s
+}
+
+// End closes the span at the current wall-clock time. Ending an already
+// ended span is a no-op (the first End wins).
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	r := &s.t.spans[s.id-1]
+	if r.End.IsZero() {
+		r.End = time.Now()
+	}
+	s.t.mu.Unlock()
+}

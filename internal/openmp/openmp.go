@@ -73,8 +73,30 @@ type Result struct {
 	// Insts and Mix aggregate the team's dynamic instructions.
 	Insts int64
 	Mix   cpu.Mix
+	// Cycles is the summed per-thread busy time (the CPI denominator for
+	// simulated-PMU counter export; RegionCycles is wall time).
+	Cycles int64
+	// Mispredicts, FrontendStalls and IRQStalls aggregate the team's
+	// pipeline counters (see cpu.Result).
+	Mispredicts    int64
+	FrontendStalls int64
+	IRQStalls      int64
 	// Truncated reports any thread hitting its instruction budget.
 	Truncated bool
+}
+
+// addResult folds one thread invocation's pipeline counters into the
+// region aggregate.
+func (r *Result) addResult(jr cpu.Result) {
+	r.Insts += jr.Insts
+	r.Mix.Add(jr.Mix)
+	r.Cycles += jr.Cycles
+	r.Mispredicts += jr.Mispredicts
+	r.FrontendStalls += jr.FrontendStalls
+	r.IRQStalls += jr.IRQStalls
+	if jr.Truncated {
+		r.Truncated = true
+	}
 }
 
 // ParallelFor executes one parallel-for region with the configured
@@ -128,11 +150,7 @@ func ParallelFor(m *sim.Machine, cfg Config, pins []int, trip int64, mk MakeJob)
 	for i, r := range rs {
 		res.ThreadCycles[i] = r.Cycles
 		res.Iterations += r.EAX
-		res.Insts += r.Insts
-		res.Mix.Add(r.Mix)
-		if r.Truncated {
-			res.Truncated = true
-		}
+		res.addResult(r.Result)
 		if r.EndCycle > maxEnd {
 			maxEnd = r.EndCycle
 		}
@@ -216,11 +234,7 @@ func parallelForDynamic(m *sim.Machine, cfg Config, pins []int, trip int64, mk M
 	for _, r := range rs {
 		res.ThreadCycles[r.Slot] += r.Cycles
 		res.Iterations += r.EAX
-		res.Insts += r.Insts
-		res.Mix.Add(r.Mix)
-		if r.Truncated {
-			res.Truncated = true
-		}
+		res.addResult(r.Result)
 		if r.EndCycle > last {
 			last = r.EndCycle
 		}

@@ -15,6 +15,7 @@ import (
 
 	"microtools/internal/codegen"
 	"microtools/internal/ir"
+	"microtools/internal/obs"
 )
 
 // Context carries pipeline-wide state. A fresh Context is used per Run.
@@ -28,11 +29,21 @@ type Context struct {
 	EmitC        bool
 	// Verbose, when non-nil, receives per-pass progress lines.
 	Verbose io.Writer
+	// Trace, when active, is the parent span the pipeline records its
+	// per-pass spans under. The zero Span is the no-op default.
+	Trace obs.Span
 	// Programs receives the emit pass output.
 	Programs []codegen.Program
 
 	rng *rand.Rand
+	// pass is the span of the pass currently running (set by Manager.Run).
+	pass obs.Span
 }
+
+// PassSpan returns the span of the currently running pass, so pass bodies
+// can record sub-spans (e.g. per-program code generation). Outside
+// Manager.Run it is the zero, no-op Span.
+func (c *Context) PassSpan() obs.Span { return c.pass }
 
 // RNG returns the context's seeded random source.
 func (c *Context) RNG() *rand.Rand {
@@ -214,6 +225,7 @@ func (m *Manager) Run(ctx *Context, kernels []*ir.Kernel) ([]*ir.Kernel, error) 
 		ctx = &Context{EmitAssembly: true}
 	}
 	ks := kernels
+	pipeline := ctx.Trace.Child("passes").Int("kernels_in", int64(len(ks)))
 	for _, p := range m.passes {
 		if p.Gate != nil && !p.Gate(ctx) {
 			ctx.logf("pass %-22s skipped (gate)", p.Name)
@@ -221,13 +233,20 @@ func (m *Manager) Run(ctx *Context, kernels []*ir.Kernel) ([]*ir.Kernel, error) 
 		}
 		var err error
 		before := len(ks)
+		sp := pipeline.Child("pass."+p.Name).Int("kernels_in", int64(before))
+		ctx.pass = sp
 		ks, err = p.Run(ctx, ks)
+		ctx.pass = obs.Span{}
 		if err != nil {
+			sp.Str("error", err.Error()).End()
+			pipeline.End()
 			return nil, fmt.Errorf("passes: %s: %w", p.Name, err)
 		}
 		ks = applyVariantCap(ks)
+		sp.Int("kernels_out", int64(len(ks))).End()
 		ctx.logf("pass %-22s %4d -> %4d kernels", p.Name, before, len(ks))
 	}
+	pipeline.Int("kernels_out", int64(len(ks))).End()
 	return ks, nil
 }
 

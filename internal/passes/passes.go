@@ -823,21 +823,27 @@ func passVerify(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 
 func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 	for _, k := range ks {
+		sp := ctx.PassSpan().Child("codegen").Str("kernel", k.Name)
 		prog := codegen.Program{Name: k.Name, Kernel: k}
 		if ctx.EmitAssembly {
 			asm, err := codegen.Assembly(k)
 			if err != nil {
+				sp.Str("error", err.Error()).End()
 				return nil, err
 			}
 			prog.Assembly = asm
+			sp.Int("asm_bytes", int64(len(asm)))
 		}
 		if ctx.EmitC {
 			c, err := codegen.CSource(k)
 			if err != nil {
+				sp.Str("error", err.Error()).End()
 				return nil, err
 			}
 			prog.CSource = c
+			sp.Int("c_bytes", int64(len(c)))
 		}
+		sp.End()
 		ctx.Programs = append(ctx.Programs, prog)
 	}
 	return ks, nil

@@ -15,6 +15,7 @@ import (
 	"microtools/internal/isa"
 	"microtools/internal/machine"
 	"microtools/internal/memsim"
+	"microtools/internal/obs"
 )
 
 // quantum is the lock-step window in core cycles. Cores never run further
@@ -58,6 +59,11 @@ type Machine struct {
 	noise   NoiseConfig
 	rng     *rand.Rand
 
+	// span is the tracing parent for Run/RunStream spans. The zero Span
+	// is the no-op default: untraced machines pay a nil check per Run
+	// call and nothing else.
+	span obs.Span
+
 	// now is the machine's monotonic core-cycle clock. Warm-up traffic and
 	// successive runs all advance it, so shared memory-system timestamps
 	// (MSHRs, channel queues) never sit in a job's future.
@@ -83,6 +89,12 @@ func (m *Machine) SetNoise(cfg NoiseConfig) {
 
 // Noise returns the current noise configuration.
 func (m *Machine) Noise() NoiseConfig { return m.noise }
+
+// SetTraceSpan parents subsequent Run/RunStream spans under sp. The
+// launcher repoints this at each protocol phase (warm-up, calibration,
+// each measurement repetition) so simulator spans nest correctly; pass
+// the zero Span to stop tracing.
+func (m *Machine) SetTraceSpan(sp obs.Span) { m.span = sp }
 
 // SetCoreFrequency moves every core to the given DVFS point. The uncore
 // (L3, memory) stays at its own frequency — the split behind Fig. 13.
@@ -155,6 +167,11 @@ type JobResult struct {
 func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sim: no jobs")
+	}
+	if m.span.Active() {
+		sp := m.span.Child("sim.run").Int("jobs", int64(len(jobs)))
+		startCycle := m.now
+		defer func() { sp.Cycles(startCycle, m.now).End() }()
 	}
 	seen := map[int]bool{}
 	cores := make([]*cpu.Core, len(jobs))
@@ -265,6 +282,11 @@ type StreamResult struct {
 func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job) ([]StreamResult, error) {
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("sim: no initial jobs")
+	}
+	if m.span.Active() {
+		sp := m.span.Child("sim.runstream").Int("slots", int64(len(initial)))
+		startCycle := m.now
+		defer func() { sp.Cycles(startCycle, m.now).End() }()
 	}
 	cores := make([]*cpu.Core, len(initial))
 	nextIRQ := make([]int64, len(initial))

@@ -40,6 +40,7 @@ import (
 
 	"microtools/internal/ir"
 	"microtools/internal/isa"
+	"microtools/internal/obs"
 )
 
 // Parse decodes one or more kernel descriptions.
@@ -80,6 +81,20 @@ func Parse(r io.Reader) ([]*ir.Kernel, error) {
 		}
 	}
 	return kernels, nil
+}
+
+// ParseTraced is Parse recorded as an "xmlspec.parse" span under parent,
+// annotated with the kernel count (or the error). The zero Span makes it
+// identical to Parse.
+func ParseTraced(r io.Reader, parent obs.Span) ([]*ir.Kernel, error) {
+	sp := parent.Child("xmlspec.parse")
+	ks, err := Parse(r)
+	if err != nil {
+		sp.Str("error", err.Error()).End()
+		return nil, err
+	}
+	sp.Int("kernels", int64(len(ks))).End()
+	return ks, nil
 }
 
 // ParseString is Parse over a string.

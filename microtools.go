@@ -34,6 +34,7 @@ import (
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
+	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
 	"microtools/internal/power"
@@ -74,7 +75,29 @@ type (
 	EnergyEstimate = power.Estimate
 	// Ranking is a best-first ordering of measurements.
 	Ranking = analysis.Ranking
+	// Tracer records hierarchical spans over generation and launch when set
+	// on GenerateOptions.Tracer / LaunchOptions.Tracer (nil = zero-overhead
+	// off). Export with its WriteChromeTrace / WriteJSONL methods.
+	Tracer = obs.Tracer
+	// Span is one tracer region; the zero Span is a no-op.
+	Span = obs.Span
+	// Counters is the simulated-PMU snapshot attached to Measurement when
+	// LaunchOptions.CollectCounters is set: memory-hierarchy stats plus
+	// pipeline counters, captured as a measured-region delta.
+	Counters = obs.Counters
+	// ReportFormat selects csv or json measurement encoding for
+	// WriteMeasurements.
+	ReportFormat = launcher.ReportFormat
 )
+
+// Report formats accepted by WriteMeasurements.
+const (
+	ReportCSV  = launcher.ReportCSV
+	ReportJSON = launcher.ReportJSON
+)
+
+// NewTracer returns an enabled span tracer.
+func NewTracer() *Tracer { return obs.New() }
 
 // Generate runs MicroCreator over an XML kernel description (§3).
 func Generate(r io.Reader, opts GenerateOptions) ([]Program, error) {
@@ -125,6 +148,13 @@ func DefaultLaunchOptions() LaunchOptions { return launcher.DefaultOptions() }
 // (§4.3).
 func WriteMeasurementsCSV(w io.Writer, ms []*Measurement) error {
 	return launcher.WriteCSV(w, ms)
+}
+
+// WriteMeasurements renders measurements in the chosen format: ReportCSV for
+// the paper's table, ReportJSON for the structured report with full summary
+// statistics, simulated-PMU counters and derived metrics.
+func WriteMeasurements(w io.Writer, format ReportFormat, ms []*Measurement) error {
+	return launcher.WriteReport(w, format, ms)
 }
 
 // Experiments lists the paper's figure/table reproductions in paper order.
