@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build test vet fmt-check race bench
+.PHONY: ci build test vet lint fmt-check race bench
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
-# build and the full test suite under the race detector.
-ci: fmt-check vet build race
+# the project-invariant linter, build and the full test suite under the race
+# detector.
+ci: fmt-check vet lint build race
 
 build:
 	$(GO) build ./...
@@ -14,6 +15,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository-invariant analyzer (see cmd/microlint for the
+# rule catalog: determinism, no stray printing, balanced trace spans, error
+# string conventions).
+lint:
+	$(GO) run ./cmd/microlint .
 
 race:
 	$(GO) test -race ./...

@@ -9,8 +9,10 @@ package microtools
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 	"testing"
+	"time"
 
 	"microtools/internal/analytic"
 	"microtools/internal/asm"
@@ -382,6 +384,78 @@ func BenchmarkGenerate510Variants(b *testing.B) {
 			b.Fatalf("generated %d variants, want 510", len(progs))
 		}
 	}
+}
+
+// BenchmarkVerifyVariants measures the static verifier's overhead on a
+// ~1k-variant expansion. Both arms produce launch-ready (decoded) programs —
+// with verification off the launcher decodes each variant itself, with
+// verification on the verify-variants pass decodes and caches p.Parsed — so
+// the delta is the cost of the verification rules proper, not of moving the
+// decode step around. The verify-overhead-% metric is that delta relative to
+// generation wall-clock: full two-level (IR + asm) verification costs a few
+// microseconds per variant, around a tenth of generation time and well under
+// a percent of any campaign that actually launches what it generates.
+func BenchmarkVerifyVariants(b *testing.B) {
+	spec := strings.Replace(fig6Spec(),
+		"<unrolling><min>1</min><max>8</max></unrolling>",
+		"<unrolling><min>1</min><max>9</max></unrolling>", 1)
+	// generate runs MicroCreator and leaves every program decoded, exactly
+	// as a launch campaign would consume it.
+	generate := func(opts GenerateOptions) int {
+		progs, err := GenerateString(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range progs {
+			if progs[i].Parsed != nil {
+				continue
+			}
+			p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			progs[i].Parsed = p
+		}
+		return len(progs)
+	}
+	if n := generate(GenerateOptions{}); n != 1022 {
+		b.Fatalf("generated %d variants, want 1022 (unroll 1..9)", n)
+	}
+
+	b.Run("no-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			generate(GenerateOptions{Verify: VerifyOff})
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			generate(GenerateOptions{})
+		}
+	})
+
+	// Paired interleaved runs for the headline relative-overhead metric;
+	// medians damp the GC noise either arm can catch on a busy machine.
+	b.Run("overhead", func(b *testing.B) {
+		offs := make([]time.Duration, 0, b.N)
+		ons := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			generate(GenerateOptions{Verify: VerifyOff})
+			offs = append(offs, time.Since(start))
+			start = time.Now()
+			generate(GenerateOptions{})
+			ons = append(ons, time.Since(start))
+		}
+		median := func(ds []time.Duration) time.Duration {
+			sorted := append([]time.Duration(nil), ds...)
+			slices.Sort(sorted)
+			return sorted[len(sorted)/2]
+		}
+		if off := median(offs); off > 0 {
+			on := median(ons)
+			b.ReportMetric(100*(float64(on)-float64(off))/float64(off), "verify-overhead-%")
+		}
+	})
 }
 
 func fig6Spec() string {

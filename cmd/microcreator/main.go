@@ -20,6 +20,7 @@ import (
 	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
+	"microtools/internal/verify"
 
 	// Register the shipped plugin library for -plugins.
 	_ "microtools/plugins"
@@ -36,6 +37,10 @@ func main() {
 		listPasses = flag.Bool("list-passes", false, "print the pass pipeline and exit")
 		verbose    = flag.Bool("v", false, "per-pass progress on stderr")
 		traceOut   = flag.String("trace", "", "write a span trace of the generation pipeline to this file (.json = Chrome trace_event, .jsonl = spans per line)")
+		verifyOnly = flag.Bool("verify", false, "run the static verifier over every variant and print the diagnostics instead of writing programs (exit 1 on errors)")
+		verifyJSON = flag.Bool("verify-json", false, "like -verify, but emit the diagnostics as JSON")
+		noVerify   = flag.Bool("no-verify", false, "disable the verify-variants pass (generation proceeds even on verifier errors)")
+		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004,V008)")
 	)
 	flag.Parse()
 
@@ -69,6 +74,39 @@ func main() {
 	}
 	if *verbose {
 		opts.Verbose = os.Stderr
+	}
+	if *suppress != "" {
+		opts.VerifySuppress = strings.Split(*suppress, ",")
+	}
+	if *noVerify {
+		opts.Verify = verify.ModeOff
+	}
+	if *verifyOnly || *verifyJSON {
+		var ds verify.Diagnostics
+		var progs []core.GeneratedProgram
+		var err error
+		if *input == "-" {
+			ds, progs, err = core.Vet(os.Stdin, opts)
+		} else {
+			ds, progs, err = core.VetFile(*input, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+			os.Exit(1)
+		}
+		if *verifyJSON {
+			if err := ds.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("%d variants, %s\n", len(progs), ds.Summary())
+			ds.WriteText(os.Stdout)
+		}
+		if ds.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {

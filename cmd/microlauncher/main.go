@@ -24,6 +24,7 @@ import (
 	"microtools/internal/machine"
 	"microtools/internal/obs"
 	"microtools/internal/stats"
+	"microtools/internal/verify"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 		// Input selection.
 		kernelPath = flag.String("kernel", "", "kernel assembly file (required; - for stdin)")
 		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1)")
+		noVerify   = flag.Bool("no-verify", false, "skip the pre-launch static verification of the kernel (internal/verify)")
+		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004)")
 		// Machine / environment.
 		machineName = flag.String("machine", "nehalem-dual", "simulated machine, optionally scaled: "+strings.Join(machine.Names(), "|")+"[ /factor]")
 		freq        = flag.Float64("frequency", 0, "core frequency in GHz (0 = nominal; Fig. 13 sweeps)")
@@ -105,6 +108,18 @@ func main() {
 	}
 	if *dump {
 		fmt.Fprint(os.Stderr, prog.Print())
+	}
+	if !*noVerify {
+		vopt := verify.Options{}
+		if *suppress != "" {
+			vopt.Suppress = strings.Split(*suppress, ",")
+		}
+		if ds := verify.Program(prog, prog.Name, vopt); len(ds) > 0 {
+			ds.WriteText(os.Stderr)
+			if ds.HasErrors() {
+				fail(fmt.Errorf("kernel failed static verification (%s); pass -no-verify to launch anyway", ds.Summary()))
+			}
+		}
 	}
 
 	opts := launcher.DefaultOptions()

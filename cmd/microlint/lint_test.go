@@ -1,0 +1,99 @@
+package main
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func lintPath(t *testing.T, path string) []Diagnostic {
+	t.Helper()
+	ds, err := lintFile(token.NewFileSet(), path)
+	if err != nil {
+		t.Fatalf("lint %s: %v", path, err)
+	}
+	return ds
+}
+
+func TestBadFixtureTripsEveryRule(t *testing.T) {
+	ds := lintPath(t, filepath.Join("testdata", "src", "bad", "bad.go"))
+	want := map[string]int{
+		"L001": 2, // time.Now + time.Since
+		"L002": 1, // rand.Intn through the global source (seeded form allowed)
+		"L003": 1, // fmt.Println (the suppressed one must not count)
+		"L004": 1, // droppedSpan only; ended and escaped spans are fine
+		"L005": 2, // capitalized + trailing punctuation
+	}
+	got := map[string]int{}
+	for _, d := range ds {
+		got[d.Rule]++
+	}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("rule %s: %d findings, want %d\nall: %v", rule, got[rule], n, ds)
+		}
+	}
+	if len(ds) != 2+1+1+1+2 {
+		t.Errorf("total findings %d, want 7: %v", len(ds), ds)
+	}
+}
+
+func TestBadFixtureFindingPositions(t *testing.T) {
+	ds := lintPath(t, filepath.Join("testdata", "src", "bad", "bad.go"))
+	// The dropped span is reported at its creation site inside droppedSpan.
+	found := false
+	for _, d := range ds {
+		if d.Rule == "L004" {
+			found = true
+			if d.Line == 0 || d.Col == 0 {
+				t.Errorf("L004 finding lacks a position: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no L004 finding")
+	}
+}
+
+func TestCleanFixtureIsClean(t *testing.T) {
+	if ds := lintPath(t, filepath.Join("testdata", "src", "clean", "clean.go")); len(ds) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", ds)
+	}
+}
+
+func TestCollectFilesSkipsTestdata(t *testing.T) {
+	files, err := collectFiles(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if filepath.Base(f) == "bad.go" || filepath.Base(f) == "clean.go" {
+			t.Errorf("testdata file %s not skipped", f)
+		}
+		if filepath.Ext(f) != ".go" {
+			t.Errorf("non-Go file collected: %s", f)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("no files collected from the package directory")
+	}
+}
+
+// TestRepoIsLintClean is the linter's own acceptance gate: the repository
+// must carry zero diagnostics (the same invariant make lint enforces).
+func TestRepoIsLintClean(t *testing.T) {
+	files, err := collectFiles(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		ds, err := lintFile(fset, f)
+		if err != nil {
+			t.Fatalf("lint %s: %v", f, err)
+		}
+		for _, d := range ds {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+// Command microlint enforces this repository's project invariants with a
+// small stdlib-only (go/ast, go/parser) analyzer. It is wired into make ci
+// via the lint target.
+//
+// Rules:
+//
+//	L001  no wall-clock time (time.Now / time.Since) in library packages
+//	      outside internal/obs — the toolchain is deterministic by design;
+//	      all timing flows through the simulated clock or the obs tracer.
+//	L002  no package-level math/rand calls (rand.Intn, rand.Float64, ...) —
+//	      randomness must come from an explicitly seeded *rand.Rand so runs
+//	      are reproducible from their seed.
+//	L003  no fmt.Print* in library packages — libraries return values or
+//	      write to an injected io.Writer; only commands talk to stdout.
+//	L004  an obs span created with Start or Child and bound to a variable
+//	      must be ended (v.End()) or escape the function (stored, passed,
+//	      returned); a dropped span silently truncates the trace tree.
+//	L005  error strings (errors.New, fmt.Errorf) must not be capitalized
+//	      and must not end with punctuation or a newline.
+//
+// A finding on a given line is suppressed by a comment on the same or the
+// preceding line:
+//
+//	//microlint:disable L003          (one or more IDs, space/comma separated)
+//	//microlint:disable               (all rules)
+//
+// Usage:
+//
+//	microlint [-json] [path...]
+//
+// Each path is walked recursively for .go files; .git, testdata, vendor
+// directories and _test.go files are skipped. Exit status is 1 when any
+// diagnostic is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Diagnostic is one linter finding.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		fl, err := collectFiles(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microlint: %v\n", err)
+			os.Exit(2)
+		}
+		files = append(files, fl...)
+	}
+	var all []Diagnostic
+	fset := token.NewFileSet()
+	for _, f := range files {
+		ds, err := lintFile(fset, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microlint: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Col < all[j].Col
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "microlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// collectFiles gathers the .go files under root, skipping .git, testdata and
+// vendor directories and _test.go files.
+func collectFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// fileContext carries what the per-rule checks need to know about one file.
+type fileContext struct {
+	fset *token.FileSet
+	file *ast.File
+	path string
+	// imports maps the local name of each import to its path.
+	imports map[string]string
+	// library is true for non-main packages (rules L001/L003 apply).
+	library bool
+	// obs is true inside internal/obs, the one package allowed wall-clock
+	// access (it timestamps trace spans).
+	obs bool
+	// parents maps every node to its syntactic parent.
+	parents map[ast.Node]ast.Node
+	// suppressed maps line -> rule IDs disabled there ("" disables all).
+	suppressed map[int]map[string]bool
+
+	diags []Diagnostic
+}
+
+// lintFile parses one file and runs every rule over it.
+func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	slash := filepath.ToSlash(path)
+	ctx := &fileContext{
+		fset:       fset,
+		file:       f,
+		path:       path,
+		imports:    importNames(f),
+		library:    f.Name.Name != "main",
+		obs:        strings.Contains(slash, "internal/obs/"),
+		parents:    buildParents(f),
+		suppressed: suppressions(fset, f),
+	}
+	checkClockAndPrint(ctx)
+	checkGlobalRand(ctx)
+	checkSpans(ctx)
+	checkErrorStrings(ctx)
+	var kept []Diagnostic
+	for _, d := range ctx.diags {
+		if !ctx.isSuppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+func (c *fileContext) report(pos token.Pos, rule, format string, args ...any) {
+	p := c.fset.Position(pos)
+	c.diags = append(c.diags, Diagnostic{
+		File:    c.path,
+		Line:    p.Line,
+		Col:     p.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *fileContext) isSuppressed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		if rules, ok := c.suppressed[line]; ok {
+			if rules[""] || rules[d.Rule] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions scans the comments for microlint:disable directives.
+func suppressions(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, "microlint:disable")
+			if i < 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			m := out[line]
+			if m == nil {
+				m = map[string]bool{}
+				out[line] = m
+			}
+			rest := strings.TrimSpace(text[i+len("microlint:disable"):])
+			if rest == "" {
+				m[""] = true
+				continue
+			}
+			for _, id := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || unicode.IsSpace(r)
+			}) {
+				m[id] = true
+			}
+		}
+	}
+	return out
+}
+
+// importNames maps each import's local name to its path.
+func importNames(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// buildParents records the syntactic parent of every node.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// pkgCall matches a call of the form pkgName.Fn(...) where pkgName is the
+// file-local name of the given import path, returning the function name.
+func pkgCall(c *fileContext, call *ast.CallExpr, importPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil { // Obj != nil means a local variable shadows it.
+		return "", false
+	}
+	if c.imports[id.Name] != importPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkClockAndPrint implements L001 (wall clock in libraries) and L003
+// (printing from libraries).
+func checkClockAndPrint(c *fileContext) {
+	if !c.library {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !c.obs {
+			if fn, ok := pkgCall(c, call, "time"); ok && (fn == "Now" || fn == "Since") {
+				c.report(call.Pos(), "L001",
+					"time.%s in a library package: wall-clock time belongs in internal/obs; thread a span or accept a timestamp", fn)
+			}
+		}
+		if fn, ok := pkgCall(c, call, "fmt"); ok && strings.HasPrefix(fn, "Print") {
+			c.report(call.Pos(), "L003",
+				"fmt.%s in a library package: return values or write to an injected io.Writer", fn)
+		}
+		return true
+	})
+}
+
+// checkGlobalRand implements L002: calls through math/rand's implicitly
+// seeded package-level source. Constructors for explicit sources are allowed.
+func checkGlobalRand(c *fileContext) {
+	allowed := map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkgCall(c, call, "math/rand"); ok && !allowed[fn] {
+			c.report(call.Pos(), "L002",
+				"rand.%s uses the global math/rand source: draw from an explicitly seeded *rand.Rand instead", fn)
+		}
+		return true
+	})
+}
+
+// checkErrorStrings implements L005 over errors.New and fmt.Errorf literals.
+func checkErrorStrings(c *fileContext) {
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		isErr := false
+		if fn, ok := pkgCall(c, call, "errors"); ok && fn == "New" {
+			isErr = true
+		}
+		if fn, ok := pkgCall(c, call, "fmt"); ok && fn == "Errorf" {
+			isErr = true
+		}
+		if !isErr {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || s == "" {
+			return true
+		}
+		first, size := utf8.DecodeRuneInString(s)
+		second, _ := utf8.DecodeRuneInString(s[size:])
+		if unicode.IsUpper(first) && unicode.IsLower(second) {
+			c.report(lit.Pos(), "L005", "error string %q should not be capitalized", s)
+		}
+		switch s[len(s)-1] {
+		case '.', '!', '\n':
+			c.report(lit.Pos(), "L005", "error string %q should not end with punctuation or a newline", s)
+		}
+		return true
+	})
+}
+
+// checkSpans implements L004: a span bound to a local variable via a
+// Start/Child chain must be ended in the same function or escape it.
+func checkSpans(c *fileContext) {
+	if c.obs {
+		return // the implementation package manufactures spans freely
+	}
+	for _, decl := range c.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		checkSpansIn(c, fn.Body)
+	}
+}
+
+func checkSpansIn(c *fileContext, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" || id.Obj == nil {
+			return true
+		}
+		if !isSpanChain(as.Rhs[0]) {
+			return true
+		}
+		ended, escaped := spanFate(c, body, id)
+		if !ended && !escaped {
+			c.report(as.Pos(), "L004",
+				"span %s is never ended: call %s.End() (or let it escape the function)", id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// isSpanChain reports whether the expression is a method-call chain whose
+// innermost call is .Start(...) or .Child(...) — the obs span constructors.
+func isSpanChain(e ast.Expr) bool {
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		switch inner := sel.X.(type) {
+		case *ast.CallExpr:
+			if sel.Sel.Name == "Start" || sel.Sel.Name == "Child" {
+				return true
+			}
+			e = inner
+		default:
+			return sel.Sel.Name == "Start" || sel.Sel.Name == "Child"
+		}
+	}
+}
+
+// spanFate scans the function body for what happens to the span variable:
+// a use chain that calls .End() marks it ended; any use outside a plain
+// method chain (argument, return, assignment source, composite literal,
+// address-of) marks it escaped.
+func spanFate(c *fileContext, body *ast.BlockStmt, def *ast.Ident) (ended, escaped bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || id.Obj == nil || id.Obj != def.Obj {
+			return true
+		}
+		parent := c.parents[ast.Node(id)]
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+			if chainCallsEnd(c, sel) {
+				ended = true
+			}
+			return true
+		}
+		// Re-definition site (the := LHS) is not a use.
+		if as, ok := parent.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if l == ast.Expr(id) {
+					return true
+				}
+			}
+		}
+		escaped = true
+		return true
+	})
+	return ended, escaped
+}
+
+// chainCallsEnd climbs a method chain rooted at sel and reports whether any
+// link calls End.
+func chainCallsEnd(c *fileContext, sel *ast.SelectorExpr) bool {
+	var node ast.Node = sel
+	for {
+		if s, ok := node.(*ast.SelectorExpr); ok && s.Sel.Name == "End" {
+			return true
+		}
+		parent := c.parents[node]
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			if p.Fun != node.(ast.Expr) {
+				return false // used as an argument, not called
+			}
+			node = p
+		case *ast.SelectorExpr:
+			if p.X != node.(ast.Expr) {
+				return false
+			}
+			node = p
+		default:
+			return false
+		}
+	}
+}

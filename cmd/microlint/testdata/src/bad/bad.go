@@ -1,0 +1,70 @@
+// Package bad seeds one violation per microlint rule; the linter self-test
+// asserts each is reported at the expected line.
+package bad
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// wallClock trips L001 twice: Now and Since.
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// globalRand trips L002; the seeded form below it is allowed.
+func globalRand() int {
+	n := rand.Intn(10)
+	r := rand.New(rand.NewSource(1))
+	return n + r.Intn(10)
+}
+
+// prints trips L003.
+func prints() {
+	fmt.Println("hello from a library")
+}
+
+// droppedSpan trips L004: the span is bound but never ended and never
+// escapes. endedSpan and escapedSpan below are both fine.
+func droppedSpan(tr tracerStub) {
+	sp := tr.Child("work")
+	_ = 0
+	use(sp.ID)
+}
+
+func endedSpan(tr tracerStub) {
+	sp := tr.Start("work").Int("n", 1)
+	defer sp.End()
+}
+
+func escapedSpan(tr tracerStub) spanStub {
+	sp := tr.Child("work")
+	return sp
+}
+
+// badErrors trips L005 twice: capitalization and trailing punctuation.
+func badErrors() error {
+	if err := errors.New("Something broke"); err != nil {
+		return err
+	}
+	return fmt.Errorf("bad thing happened.")
+}
+
+// suppressed would trip L003 but is disabled in place.
+func suppressed() {
+	fmt.Println("allowed here") //microlint:disable L003
+}
+
+type tracerStub struct{}
+
+type spanStub struct{ ID int }
+
+func (tracerStub) Child(string) spanStub  { return spanStub{} }
+func (tracerStub) Start(string) spanStub  { return spanStub{} }
+func (spanStub) Int(string, int) spanStub { return spanStub{} }
+func (spanStub) End()                     {}
+
+func use(int) {}

@@ -1,0 +1,28 @@
+// Package clean must produce zero microlint diagnostics.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// seeded randomness is the sanctioned form.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// writeTo prints through an injected writer, not stdout.
+func writeTo(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// lowerErr follows the error-string conventions.
+func lowerErr() error {
+	if false {
+		return errors.New("clean: nothing to do")
+	}
+	return fmt.Errorf("clean: %d items left", 3)
+}

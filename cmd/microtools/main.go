@@ -7,6 +7,12 @@
 //	microtools -list
 //	microtools -experiment fig11 [-quick] [-csv out.csv] [-v]
 //	microtools -all [-quick] [-outdir results/]
+//	microtools vet [-json] [-suppress V004,V008] spec.xml...
+//
+// The vet subcommand runs MicroCreator's static verifier over every variant
+// a spec expands to — without launching anything — and reports the findings
+// (see internal/verify for the rule catalog). It exits non-zero when any
+// error-severity diagnostic is found.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"microtools/internal/analysis"
@@ -21,9 +28,70 @@ import (
 	"microtools/internal/experiments"
 	"microtools/internal/launcher"
 	"microtools/internal/obs"
+	"microtools/internal/verify"
 )
 
+// runVet implements the vet subcommand: collect-only verification of one or
+// more XML kernel descriptions. Exit status 1 means error-severity findings
+// (or an unreadable input), 0 means clean or warnings only.
+func runVet(args []string) {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+		suppress = fs.String("suppress", "", "comma-separated rule IDs to ignore (e.g. V004,V008)")
+		seed     = fs.Int64("seed", 0, "seed for the random-select pass")
+		vFlag    = fs.Bool("v", false, "per-pass progress on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: microtools vet [-json] [-suppress IDs] [-seed N] spec.xml...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	opts := core.GenerateOptions{Seed: *seed}
+	if *suppress != "" {
+		opts.VerifySuppress = strings.Split(*suppress, ",")
+	}
+	if *vFlag {
+		opts.Verbose = os.Stderr
+	}
+	var all verify.Diagnostics
+	for _, path := range fs.Args() {
+		ds, progs, err := core.VetFile(path, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microtools: vet: %v\n", err)
+			os.Exit(1)
+		}
+		// Prefix the file so multi-spec runs stay attributable.
+		for i := range ds {
+			ds[i].Kernel = path + ": " + ds[i].Kernel
+		}
+		all = append(all, ds...)
+		if !*jsonOut {
+			fmt.Printf("%s: %d variants, %s\n", path, len(progs), ds.Summary())
+		}
+	}
+	if *jsonOut {
+		if err := all.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "microtools: vet: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		all.WriteText(os.Stdout)
+	}
+	if all.HasErrors() {
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
+		return
+	}
 	var (
 		list     = flag.Bool("list", false, "list the available experiments")
 		expID    = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")

@@ -9,6 +9,7 @@ package analysis
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -17,30 +18,45 @@ import (
 )
 
 // Best returns the measurement with the smallest Value (time per iteration:
-// smaller is better).
+// smaller is better). NaN values are skipped — a NaN in the first slot used
+// to poison the whole comparison chain (every `m.Value < NaN` is false) and
+// return the broken measurement as the "best". All-NaN input is an error.
 func Best(ms []*launcher.Measurement) (*launcher.Measurement, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("analysis: no measurements")
 	}
-	best := ms[0]
-	for _, m := range ms[1:] {
-		if m.Value < best.Value {
+	var best *launcher.Measurement
+	for _, m := range ms {
+		if math.IsNaN(m.Value) {
+			continue
+		}
+		if best == nil || m.Value < best.Value {
 			best = m
 		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("analysis: all %d measurements are NaN", len(ms))
 	}
 	return best, nil
 }
 
-// Worst returns the measurement with the largest Value.
+// Worst returns the measurement with the largest Value, skipping NaN values
+// (see Best).
 func Worst(ms []*launcher.Measurement) (*launcher.Measurement, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("analysis: no measurements")
 	}
-	worst := ms[0]
-	for _, m := range ms[1:] {
-		if m.Value > worst.Value {
+	var worst *launcher.Measurement
+	for _, m := range ms {
+		if math.IsNaN(m.Value) {
+			continue
+		}
+		if worst == nil || m.Value > worst.Value {
 			worst = m
 		}
+	}
+	if worst == nil {
+		return nil, fmt.Errorf("analysis: all %d measurements are NaN", len(ms))
 	}
 	return worst, nil
 }
@@ -49,11 +65,23 @@ func Worst(ms []*launcher.Measurement) (*launcher.Measurement, error) {
 type Ranking []*launcher.Measurement
 
 // Rank sorts measurements by Value ascending (stable, so generation order
-// breaks ties deterministically).
+// breaks ties deterministically). NaN values sort last.
 func Rank(ms []*launcher.Measurement) Ranking {
 	out := append(Ranking(nil), ms...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	sort.SliceStable(out, func(i, j int) bool { return lessNaNLast(out[i].Value, out[j].Value) })
 	return out
+}
+
+// lessNaNLast orders float64s ascending with NaN after every number, giving
+// rankings a deterministic order even over broken measurements.
+func lessNaNLast(a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	if math.IsNaN(b) {
+		return true
+	}
+	return a < b
 }
 
 // metric returns the fairest available comparison value: per-element cost
@@ -69,7 +97,7 @@ func metric(m *launcher.Measurement) float64 {
 // unroll factors (an 8x-unrolled iteration does 8x the work).
 func RankPerElement(ms []*launcher.Measurement) Ranking {
 	out := append(Ranking(nil), ms...)
-	sort.SliceStable(out, func(i, j int) bool { return metric(out[i]) < metric(out[j]) })
+	sort.SliceStable(out, func(i, j int) bool { return lessNaNLast(metric(out[i]), metric(out[j])) })
 	return out
 }
 

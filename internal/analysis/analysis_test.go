@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -168,5 +169,34 @@ func TestPropertyPlateausPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBestWorstSkipNaN(t *testing.T) {
+	nan := math.NaN()
+	// A NaN in the first slot used to poison the comparison chain and be
+	// returned as the "best" measurement.
+	ms := []*launcher.Measurement{meas("broken", nan), meas("a", 3), meas("b", 1)}
+	b, err := Best(ms)
+	if err != nil || b.Kernel != "b" {
+		t.Errorf("Best with leading NaN = %v, %v; want b", b, err)
+	}
+	w, err := Worst(ms)
+	if err != nil || w.Kernel != "a" {
+		t.Errorf("Worst with leading NaN = %v, %v; want a", w, err)
+	}
+	if _, err := Best([]*launcher.Measurement{meas("x", nan)}); err == nil {
+		t.Error("all-NaN Best did not error")
+	}
+	if _, err := Worst([]*launcher.Measurement{meas("x", nan)}); err == nil {
+		t.Error("all-NaN Worst did not error")
+	}
+	r := Rank(ms)
+	if r[len(r)-1].Kernel != "broken" {
+		t.Errorf("Rank did not sort NaN last: %v", r)
+	}
+	rp := RankPerElement(ms)
+	if rp[len(rp)-1].Kernel != "broken" {
+		t.Errorf("RankPerElement did not sort NaN last: %v", rp)
 	}
 }

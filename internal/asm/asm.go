@@ -33,19 +33,44 @@ func (e *ParseError) Unwrap() error { return e.Err }
 // single function named by defaultName. Branch targets are resolved and each
 // program validated.
 func Parse(r io.Reader, defaultName string) ([]*isa.Program, error) {
+	return parse(r, defaultName, 0)
+}
+
+// parse is Parse with an optional instruction-count hint (0 = unknown) that
+// pre-sizes the first program's instruction slice: append growth on the
+// large isa.Inst element type is the dominant allocation when parsing one
+// program per generated variant.
+func parse(r io.Reader, defaultName string, hint int) ([]*isa.Program, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	// Small initial buffer (the scanner grows it on demand): Parse runs once
+	// per variant, and a large up-front allocation here dominates whole-family
+	// verification time.
+	sc.Buffer(make([]byte, 0, 4096), 16*1024*1024)
 
 	var progs []*isa.Program
-	cur := &isa.Program{Name: defaultName, Labels: map[string]int{}}
-	globals := map[string]bool{}
+	// The current program is allocated lazily on its first label or
+	// instruction: Parse runs once per generated variant, and eager
+	// allocation (especially of the post-flush program that EOF discards)
+	// shows up in whole-family verification time.
+	var cur *isa.Program
+	prog := func() *isa.Program {
+		if cur == nil {
+			cur = &isa.Program{Name: defaultName, Labels: make(map[string]int, 2)}
+			if hint > 0 {
+				cur.Insts = make([]isa.Inst, 0, hint)
+				hint = 0 // the hint covers the whole source; first program only
+			}
+		}
+		return cur
+	}
+	var globals map[string]bool
 	lineNo := 0
 
 	flush := func() {
-		if len(cur.Insts) > 0 {
+		if cur != nil && len(cur.Insts) > 0 {
 			progs = append(progs, cur)
 		}
-		cur = &isa.Program{Name: defaultName, Labels: map[string]int{}}
+		cur = nil
 	}
 
 	for sc.Scan() {
@@ -64,20 +89,24 @@ func Parse(r io.Reader, defaultName string) ([]*isa.Program, error) {
 			if globals[label] {
 				// New function begins.
 				flush()
-				cur.Name = label
+				prog().Name = label
 			} else {
-				if _, dup := cur.Labels[label]; dup {
+				p := prog()
+				if _, dup := p.Labels[label]; dup {
 					return nil, &ParseError{lineNo, line, fmt.Errorf("duplicate label %q", label)}
 				}
-				cur.Labels[label] = len(cur.Insts)
+				p.Labels[label] = len(p.Insts)
 			}
 		case strings.HasPrefix(line, "."):
 			// Directive. Track .globl names so we can split functions;
 			// ignore the rest (.text, .align, .type, .size, ...).
-			fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
-			if fields[0] == ".globl" || fields[0] == ".global" {
+			if strings.HasPrefix(line, ".globl") || strings.HasPrefix(line, ".global") {
+				fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
 				if len(fields) != 2 {
 					return nil, &ParseError{lineNo, line, fmt.Errorf("malformed %s", fields[0])}
+				}
+				if globals == nil {
+					globals = map[string]bool{}
 				}
 				globals[fields[1]] = true
 			}
@@ -86,7 +115,8 @@ func Parse(r io.Reader, defaultName string) ([]*isa.Program, error) {
 			if err != nil {
 				return nil, &ParseError{lineNo, line, err}
 			}
-			cur.Insts = append(cur.Insts, inst)
+			p := prog()
+			p.Insts = append(p.Insts, inst)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -109,7 +139,13 @@ func Parse(r io.Reader, defaultName string) ([]*isa.Program, error) {
 
 // ParseString is Parse over a string.
 func ParseString(src, defaultName string) ([]*isa.Program, error) {
-	return Parse(strings.NewReader(src), defaultName)
+	// Line count bounds the instruction count; cap the hint so adversarial
+	// newline-heavy input cannot force a huge allocation.
+	hint := strings.Count(src, "\n") + 1
+	if hint > 1024 {
+		hint = 1024
+	}
+	return parse(strings.NewReader(src), defaultName, hint)
 }
 
 // ParseOne parses a source expected to contain exactly one function.
@@ -142,15 +178,12 @@ func parseInst(line string) (isa.Inst, error) {
 		}
 		return inst, nil
 	}
-	operands, err := splitOperands(rest)
+	operands, n, err := splitOperands(rest)
 	if err != nil {
 		return inst, err
 	}
-	if len(operands) > 3 {
-		return inst, fmt.Errorf("too many operands (%d)", len(operands))
-	}
-	for i, text := range operands {
-		o, err := parseOperand(text, op)
+	for i := 0; i < n; i++ {
+		o, err := parseOperand(operands[i], op)
 		if err != nil {
 			return inst, err
 		}
@@ -168,11 +201,25 @@ func parseInst(line string) (isa.Inst, error) {
 }
 
 // splitOperands splits on commas that are not inside a memory reference's
-// parentheses.
-func splitOperands(s string) ([]string, error) {
-	var out []string
+// parentheses. The fixed-size result avoids a per-instruction allocation
+// (Parse runs once per generated variant).
+func splitOperands(s string) ([3]string, int, error) {
+	var out [3]string
+	n := 0
 	depth := 0
 	start := 0
+	add := func(part string) error {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("empty operand")
+		}
+		if n == len(out) {
+			return fmt.Errorf("too many operands (%d)", n+1)
+		}
+		out[n] = part
+		n++
+		return nil
+	}
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '(':
@@ -180,25 +227,24 @@ func splitOperands(s string) ([]string, error) {
 		case ')':
 			depth--
 			if depth < 0 {
-				return nil, fmt.Errorf("unbalanced parenthesis")
+				return out, 0, fmt.Errorf("unbalanced parenthesis")
 			}
 		case ',':
 			if depth == 0 {
-				out = append(out, strings.TrimSpace(s[start:i]))
+				if err := add(s[start:i]); err != nil {
+					return out, 0, err
+				}
 				start = i + 1
 			}
 		}
 	}
 	if depth != 0 {
-		return nil, fmt.Errorf("unbalanced parenthesis")
+		return out, 0, fmt.Errorf("unbalanced parenthesis")
 	}
-	out = append(out, strings.TrimSpace(s[start:]))
-	for _, o := range out {
-		if o == "" {
-			return nil, fmt.Errorf("empty operand")
-		}
+	if err := add(s[start:]); err != nil {
+		return out, 0, err
 	}
-	return out, nil
+	return out, n, nil
 }
 
 func parseOperand(text string, op isa.Op) (isa.Operand, error) {

@@ -26,6 +26,7 @@ import (
 	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
+	"microtools/internal/verify"
 	"microtools/internal/xmlspec"
 )
 
@@ -48,6 +49,16 @@ type GenerateOptions struct {
 	// Tracer, when non-nil, records the generation pipeline as a span tree:
 	// "generate" > "xmlspec.parse" + "passes" > one span per pass.
 	Tracer *obs.Tracer
+	// Verify selects how the pipeline's verify-variants pass treats its
+	// findings: verify.ModeEnforce (the zero value) fails generation on
+	// error-severity diagnostics, verify.ModeCollect records them without
+	// failing, verify.ModeOff disables verification.
+	Verify verify.Mode
+	// VerifySuppress lists verifier rule IDs to ignore (e.g. "V004").
+	VerifySuppress []string
+	// Diagnostics, when non-nil, receives the verifier findings of the run
+	// (useful with ModeCollect; under ModeEnforce only warnings survive).
+	Diagnostics *verify.Diagnostics
 }
 
 // Generate runs MicroCreator over an XML kernel description.
@@ -68,17 +79,54 @@ func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
 		}
 	}
 	ctx := &passes.Context{
-		Seed:         opts.Seed,
-		EmitAssembly: !opts.DisableAssembly,
-		EmitC:        opts.EmitC,
-		Verbose:      opts.Verbose,
-		Trace:        root,
+		Seed:           opts.Seed,
+		EmitAssembly:   !opts.DisableAssembly,
+		EmitC:          opts.EmitC,
+		Verbose:        opts.Verbose,
+		Trace:          root,
+		VerifyMode:     opts.Verify,
+		VerifySuppress: opts.VerifySuppress,
 	}
-	if _, err := m.Run(ctx, kernels); err != nil {
+	_, err = m.Run(ctx, kernels)
+	if opts.Diagnostics != nil {
+		*opts.Diagnostics = ctx.Diagnostics
+	}
+	if err != nil {
 		return nil, err
 	}
 	root.Int("programs", int64(len(ctx.Programs)))
 	return ctx.Programs, nil
+}
+
+// Vet runs MicroCreator in collect-only verification mode: the full pipeline
+// executes, but verifier findings are returned as diagnostics instead of
+// failing generation. Pipeline errors upstream of the verifier (XML parse
+// failures, pass errors) are folded into the diagnostics as V000 findings, so
+// a vet run always yields a report; err is reserved for I/O-level failures.
+func Vet(r io.Reader, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
+	opts.Verify = verify.ModeCollect
+	var ds verify.Diagnostics
+	opts.Diagnostics = &ds
+	progs, err := Generate(r, opts)
+	if err != nil {
+		ds = append(ds, verify.Diagnostic{
+			Rule:     verify.RuleParse,
+			Severity: verify.SeverityError,
+			Instr:    -1,
+			Message:  err.Error(),
+		})
+	}
+	return ds, progs, nil
+}
+
+// VetFile is Vet over a file.
+func VetFile(path string, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Vet(f, opts)
 }
 
 // GenerateString is Generate over a string.
@@ -255,9 +303,13 @@ func LaunchAllProgress(progs []codegen.Program, launch launcher.Options, workers
 }
 
 func launchOne(p *codegen.Program, opts launcher.Options) (*launcher.Measurement, error) {
-	kernel, err := asm.ParseOne(p.Assembly, p.Name)
-	if err != nil {
-		return nil, err
+	kernel := p.Parsed // decoded by the verify-variants pass; reuse when cached
+	if kernel == nil {
+		var err error
+		kernel, err = asm.ParseOne(p.Assembly, p.Name)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return launcher.Launch(kernel, opts)
 }

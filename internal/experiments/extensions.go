@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"microtools/internal/asm"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
 	"microtools/internal/passes"
@@ -98,7 +97,7 @@ func runExtStride(cfg Config) (*stats.Table, error) {
 	}
 	series := t.AddSeries("cycles/access")
 	for i, prog := range ctx.Programs {
-		p, err := asm.ParseOne(prog.Assembly, prog.Name)
+		p, err := decoded(prog)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +184,7 @@ func runExtArith(cfg Config) (*stats.Table, error) {
 	}
 	series := t.AddSeries("RAM-resident")
 	for _, prog := range ctx.Programs {
-		p, err := asm.ParseOne(prog.Assembly, prog.Name)
+		p, err := decoded(prog)
 		if err != nil {
 			return nil, err
 		}

@@ -9,8 +9,32 @@ import (
 	"microtools/internal/ir"
 	"microtools/internal/isa"
 	"microtools/internal/passes"
+	"microtools/internal/verify"
 	"microtools/internal/xmlspec"
 )
+
+// parseVerified decodes a handwritten experiment kernel and fails fast on
+// verifier errors, so a broken fixture aborts the campaign before any
+// launches instead of skewing a whole figure.
+func parseVerified(src, name string) (*isa.Program, error) {
+	p, err := asm.ParseOne(src, name)
+	if err != nil {
+		return nil, err
+	}
+	if ds := verify.Program(p, name, verify.Options{}); ds.HasErrors() {
+		return nil, fmt.Errorf("experiments: kernel %s failed verification: %w", name, ds.Err())
+	}
+	return p, nil
+}
+
+// decoded returns the launcher-ready form of a pipeline output program,
+// reusing the decode cached by the verify-variants pass when present.
+func decoded(prog codegen.Program) (*isa.Program, error) {
+	if prog.Parsed != nil {
+		return prog.Parsed, nil
+	}
+	return asm.ParseOne(prog.Assembly, prog.Name)
+}
 
 // opWidth returns the data width of the studied SSE moves.
 func opWidth(op string) int64 {
@@ -76,7 +100,7 @@ func generateLoadStore(op string, maxUnroll int) (*variantSet, error) {
 	}
 	vs := &variantSet{op: op, programs: map[string]*isa.Program{}}
 	for _, prog := range ctx.Programs {
-		p, err := asm.ParseOne(prog.Assembly, prog.Name)
+		p, err := decoded(prog)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: re-parsing %s: %w", prog.Name, err)
 		}
@@ -151,7 +175,7 @@ func loadOnlyKernel(op string, u int) (*isa.Program, error) {
 	b.WriteString("add $1, %eax\n")
 	fmt.Fprintf(&b, "sub $%d, %%rdi\n", (w/4)*int64(u))
 	b.WriteString("jge .L0\nret\n")
-	return asm.ParseOne(b.String(), fmt.Sprintf("%s_load_u%d", op, u))
+	return parseVerified(b.String(), fmt.Sprintf("%s_load_u%d", op, u))
 }
 
 // fourArrayTraversal builds the §5.2.2 kernel: a single-strided movss
@@ -173,5 +197,5 @@ add $1, %eax
 sub $1, %rdi
 jge .L0
 ret`
-	return asm.ParseOne(src, "four_array_traversal")
+	return parseVerified(src, "four_array_traversal")
 }

@@ -97,6 +97,12 @@ func (r *Register) Resolved() (isa.Reg, error) {
 		return isa.NoReg, fmt.Errorf("ir: nil register")
 	}
 	if r.IsRotating() {
+		// Fast path for the ubiquitous "%xmm" pool: Resolved is called per
+		// operand per variant by codegen and the verifier, and formatting a
+		// name only to re-parse it dominates those loops.
+		if (r.RotBase == "%xmm" || r.RotBase == "xmm") && r.RotIdx >= 0 && r.RotIdx < 16 {
+			return isa.XMM0 + isa.Reg(r.RotIdx), nil
+		}
 		name := fmt.Sprintf("%s%d", r.RotBase, r.RotIdx)
 		reg, err := isa.ParseReg(name)
 		if err != nil {
@@ -323,13 +329,20 @@ func (k *Kernel) TagString() string {
 // Registers returns every distinct *Register referenced by the kernel, in
 // first-use order (operands first, then inductions).
 func (k *Kernel) Registers() []*Register {
-	var out []*Register
-	seen := map[*Register]bool{}
+	// Linear dedup: kernels reference a handful of distinct register
+	// objects, so scanning the result beats a map — this runs per variant
+	// in codegen and verification.
+	out := make([]*Register, 0, 8)
 	add := func(r *Register) {
-		if r != nil && !seen[r] {
-			seen[r] = true
-			out = append(out, r)
+		if r == nil {
+			return
 		}
+		for _, s := range out {
+			if s == r {
+				return
+			}
+		}
+		out = append(out, r)
 	}
 	for i := range k.Body {
 		for j := range k.Body[i].Operands {

@@ -110,28 +110,35 @@ func (r Reg) Name32() string {
 // 64-bit register (the paper's Fig. 9 counts iterations in %eax, which the
 // launcher reads back as the RAX slot).
 func ParseReg(name string) (Reg, error) {
-	n := strings.TrimPrefix(strings.ToLower(strings.TrimSpace(name)), "%")
-	for i, g := range gprNames {
-		if n == g {
-			return Reg(i), nil
-		}
+	n := strings.TrimPrefix(strings.TrimSpace(name), "%")
+	if r, ok := regByName[n]; ok {
+		return r, nil
 	}
-	for i, g := range gpr32Names {
-		if n == g {
-			return Reg(i), nil
-		}
-	}
-	if strings.HasPrefix(n, "xmm") {
-		var idx int
-		if _, err := fmt.Sscanf(n, "xmm%d", &idx); err == nil && idx >= 0 && idx < 16 {
-			return XMM0 + Reg(idx), nil
-		}
-	}
-	if n == "rip" {
-		return RIP, nil
+	// Slow path for unusual casing only; the table covers every lowercase
+	// name, so one lookup resolves the common case without allocating.
+	if r, ok := regByName[strings.ToLower(n)]; ok {
+		return r, nil
 	}
 	return NoReg, fmt.Errorf("isa: unknown register %q", name)
 }
+
+// regByName maps every accepted lowercase register name (64-bit GPRs, 32-bit
+// aliases, xmm0-15, rip) to its Reg. ParseReg is on the per-instruction hot
+// path of the asm parser, which runs once per generated variant.
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, 49)
+	for i, g := range gprNames {
+		m[g] = Reg(i)
+	}
+	for i, g := range gpr32Names {
+		m[g] = Reg(i)
+	}
+	for i := 0; i < 16; i++ {
+		m[fmt.Sprintf("xmm%d", i)] = XMM0 + Reg(i)
+	}
+	m["rip"] = RIP
+	return m
+}()
 
 // Is32BitName reports whether the given textual register name (with or
 // without %) is one of the 32-bit GPR aliases. MicroLauncher uses this to

@@ -16,6 +16,7 @@ import (
 	"microtools/internal/codegen"
 	"microtools/internal/ir"
 	"microtools/internal/obs"
+	"microtools/internal/verify"
 )
 
 // Context carries pipeline-wide state. A fresh Context is used per Run.
@@ -35,9 +36,28 @@ type Context struct {
 	// Programs receives the emit pass output.
 	Programs []codegen.Program
 
+	// VerifyMode selects how the final verify-variants pass treats its
+	// findings: verify.ModeEnforce (the zero value) fails the pipeline on
+	// error-severity diagnostics, verify.ModeCollect records them in
+	// Diagnostics without failing, verify.ModeOff gates the pass off.
+	VerifyMode verify.Mode
+	// VerifySuppress lists rule IDs the verifier ignores (e.g. "V004").
+	VerifySuppress []string
+	// Diagnostics accumulates the verifier findings of the run.
+	Diagnostics verify.Diagnostics
+
 	rng *rand.Rand
 	// pass is the span of the pass currently running (set by Manager.Run).
 	pass obs.Span
+	// expectedVariants records the statically-predicted variant count per
+	// kernel family (set by the validate pass; consumed by verify-variants
+	// for expansion accounting). Families with unpredictable counts are
+	// absent.
+	expectedVariants map[string]int64
+	// pipelineModified notes that the pass list diverged from the default
+	// nineteen-pass pipeline (plugin surgery); expansion accounting is
+	// skipped because the prediction only models the default passes.
+	pipelineModified bool
 }
 
 // PassSpan returns the span of the currently running pass, so pass bodies
@@ -86,6 +106,10 @@ func NeverGate(*Context) bool { return false }
 // methods below — the Go equivalent of the paper's pluginInit API.
 type Manager struct {
 	passes []*Pass
+	// modified records any surgery on the default pipeline (replace,
+	// remove, insert, append, gate override); the verify-variants pass
+	// skips expansion accounting on modified pipelines.
+	modified bool
 }
 
 // NewManager returns a manager loaded with the nineteen default passes.
@@ -143,6 +167,7 @@ func (m *Manager) Replace(name string, p *Pass) error {
 		return err
 	}
 	m.passes[i] = p
+	m.modified = true
 	return nil
 }
 
@@ -153,6 +178,7 @@ func (m *Manager) Remove(name string) error {
 		return fmt.Errorf("passes: no pass named %q", name)
 	}
 	m.passes = append(m.passes[:i], m.passes[i+1:]...)
+	m.modified = true
 	return nil
 }
 
@@ -179,6 +205,7 @@ func (m *Manager) insert(name string, p *Pass, delta int) error {
 	}
 	i += delta
 	m.passes = append(m.passes[:i], append([]*Pass{p}, m.passes[i:]...)...)
+	m.modified = true
 	return nil
 }
 
@@ -191,6 +218,7 @@ func (m *Manager) Append(p *Pass) error {
 		return fmt.Errorf("passes: pass %q already registered", p.Name)
 	}
 	m.passes = append(m.passes, p)
+	m.modified = true
 	return nil
 }
 
@@ -205,6 +233,7 @@ func (m *Manager) SetGate(name string, gate GateFunc) error {
 		return fmt.Errorf("passes: nil gate for %q", name)
 	}
 	p.Gate = gate
+	m.modified = true
 	return nil
 }
 
@@ -224,6 +253,7 @@ func (m *Manager) Run(ctx *Context, kernels []*ir.Kernel) ([]*ir.Kernel, error) 
 	if ctx == nil {
 		ctx = &Context{EmitAssembly: true}
 	}
+	ctx.pipelineModified = ctx.pipelineModified || m.modified
 	ks := kernels
 	pipeline := ctx.Trace.Child("passes").Int("kernels_in", int64(len(ks)))
 	for _, p := range m.passes {

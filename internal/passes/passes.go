@@ -3,11 +3,13 @@ package passes
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"microtools/internal/codegen"
 	"microtools/internal/ir"
 	"microtools/internal/isa"
+	"microtools/internal/verify"
 )
 
 // expansionLimit bounds the total number of kernels a single fan-out pass
@@ -40,6 +42,13 @@ func defaultPasses() []*Pass {
 		mk("align-code", "request loop-top code alignment", passAlignCode),
 		mk("verify", "post-pipeline invariant checks", passVerify),
 		mk("emit", "render assembly and/or C programs", passEmit),
+		{
+			Name: "verify-variants",
+			Doc:  "static verifier over IR kernels and emitted asm (internal/verify)",
+			// Opt-out gate: Context.VerifyMode = verify.ModeOff skips it.
+			Gate: func(ctx *Context) bool { return ctx.VerifyMode != verify.ModeOff },
+			Run:  passVerifyVariants,
+		},
 	}
 	// The schedule pass is present but gated off by default, mirroring the
 	// paper's optional passes ("A user may modify it so as not to always
@@ -99,10 +108,25 @@ func cloneInstr(in ir.Instruction) ir.Instruction {
 
 // ---- pass 1: validate -----------------------------------------------------
 
-func passValidate(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+func passValidate(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 	for _, k := range ks {
 		if err := k.Validate(); err != nil {
 			return nil, err
+		}
+	}
+	// Record the statically-predicted variant count per kernel family while
+	// the kernels are still spec-level; the verify-variants pass compares
+	// the final count against it (rule V008, expansion accounting).
+	if ctx != nil {
+		ctx.expectedVariants = map[string]int64{}
+		moveCount := func(mv *ir.MoveSemantics) (int, error) {
+			cands, err := moveCandidates(mv)
+			return len(cands), err
+		}
+		for _, k := range ks {
+			if want, ok := verify.ExpectedVariants(k, moveCount); ok {
+				ctx.expectedVariants[k.BaseName] = want
+			}
 		}
 	}
 	return ks, nil
@@ -814,6 +838,60 @@ func passVerify(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 					}
 				}
 			}
+		}
+	}
+	return ks, nil
+}
+
+// ---- pass 20: verify-variants ---------------------------------------------------
+
+// passVerifyVariants runs the static verifier (internal/verify) over every
+// surviving kernel variant and every emitted program: IR-level rules
+// (operand forms, def-before-use, register conflicts, alignment, induction
+// consistency, register pressure), asm-level rules (forms, memory bases,
+// loop structure, alignment), and expansion accounting against the counts
+// the validate pass predicted. Findings accumulate in ctx.Diagnostics; in
+// enforce mode (the default) any error-severity finding fails the pipeline.
+// Parsed programs are cached on the codegen output so launchers can reuse
+// the decode work.
+func passVerifyVariants(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
+	opt := verify.Options{Suppress: ctx.VerifySuppress}
+	var diags verify.Diagnostics
+	for _, k := range ks {
+		diags = append(diags, verify.Kernel(k, opt)...)
+	}
+	for i := range ctx.Programs {
+		p := &ctx.Programs[i]
+		if p.Assembly == "" {
+			continue
+		}
+		parsed, ds := verify.AsmProgram(p.Assembly, p.Name, opt)
+		diags = append(diags, ds...)
+		if parsed != nil {
+			p.Parsed = parsed
+		}
+	}
+	// Expansion accounting only models the default pipeline; skip it when
+	// plugins reshaped the pass list.
+	if !ctx.pipelineModified && len(ctx.expectedVariants) > 0 {
+		got := map[string]int{}
+		for _, k := range ks {
+			got[k.BaseName]++
+		}
+		bases := make([]string, 0, len(ctx.expectedVariants))
+		for base := range ctx.expectedVariants {
+			bases = append(bases, base)
+		}
+		sort.Strings(bases)
+		for _, base := range bases {
+			diags = append(diags, verify.Expansion(base, got[base], ctx.expectedVariants[base], opt)...)
+		}
+	}
+	ctx.PassSpan().Int("diagnostics", int64(len(diags)))
+	ctx.Diagnostics = append(ctx.Diagnostics, diags...)
+	if ctx.VerifyMode == verify.ModeEnforce {
+		if err := diags.Err(); err != nil {
+			return nil, err
 		}
 	}
 	return ks, nil

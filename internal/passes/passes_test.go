@@ -395,8 +395,9 @@ func TestLinkedInductionScaling(t *testing.T) {
 
 func TestManagerHas19Passes(t *testing.T) {
 	m := NewManager()
-	if got := len(m.Passes()); got != 19 {
-		t.Fatalf("default pipeline has %d passes, want 19 (§3.2)", got)
+	// The paper's nineteen passes (§3.2) plus the static verifier.
+	if got := len(m.Passes()); got != 20 {
+		t.Fatalf("default pipeline has %d passes, want 20 (§3.2 + verify-variants)", got)
 	}
 	// Paper-named passes must all be present.
 	for _, name := range []string{
@@ -406,6 +407,7 @@ func TestManagerHas19Passes(t *testing.T) {
 		"rotate-registers", "allocate-registers", "link-inductions",
 		"insert-inductions", "schedule", "insert-branch",
 		"prologue-epilogue", "align-code", "verify", "emit",
+		"verify-variants",
 	} {
 		if m.Lookup(name) == nil {
 			t.Errorf("missing pass %q", name)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"microtools/internal/ir"
+	"microtools/internal/isa"
 	"microtools/internal/passes"
 )
 
@@ -118,21 +119,21 @@ func TestPluginAddsCustomPass(t *testing.T) {
 	if err := Apply(m, "tagger"); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(m.Passes()); got != 20 {
-		t.Fatalf("pipeline has %d passes after plugin, want 20", got)
+	if got := len(m.Passes()); got != 21 {
+		t.Fatalf("pipeline has %d passes after plugin, want 21", got)
 	}
 	k := &ir.Kernel{
 		BaseName: "k", Name: "k",
 		Body: []ir.Instruction{{
 			Op: "movss",
 			Operands: []ir.Operand{
-				{Kind: ir.MemOperand, Reg: &ir.Register{Logical: "r1"}},
+				{Kind: ir.MemOperand, Reg: &ir.Register{Logical: "r1", Phys: isa.NoReg}},
 				{Kind: ir.RegOperand, Reg: &ir.Register{RotBase: "%xmm", RotRange: ir.Range{Min: 0, Max: 4}}},
 			},
 		}},
 		Inductions: []ir.Induction{
-			{Reg: &ir.Register{Logical: "r1"}, Increment: 4, Offset: 4},
-			{Reg: &ir.Register{Logical: "r0"}, Increment: -1, Last: true},
+			{Reg: &ir.Register{Logical: "r1", Phys: isa.NoReg}, Increment: 4, Offset: 4},
+			{Reg: &ir.Register{Logical: "r0", Phys: isa.NoReg}, Increment: -1, Last: true},
 		},
 		Branch:      ir.Branch{Label: ".L0", Test: "jge"},
 		UnrollRange: ir.Range{Min: 1, Max: 2},

@@ -1,0 +1,197 @@
+package verify
+
+import (
+	"fmt"
+
+	"microtools/internal/ir"
+)
+
+// expansionCap bounds the arithmetic of ExpectedVariants; a spec whose
+// statically-predicted variant count exceeds it is reported as unknown
+// (the pipeline's own expansionLimit rejects such specs anyway).
+const expansionCap = int64(1) << 40
+
+// maxRepeatCombos bounds the repeat-range enumeration.
+const maxRepeatCombos = 1 << 16
+
+// ExpectedVariants computes the number of variants the pass pipeline should
+// produce from a spec-level kernel: the product of every choice list the
+// expansion passes consume, summed over the repeat and unroll ranges.
+// moveCount maps abstract move semantics to their concrete candidate count
+// (the select-instructions pass's own expansion; pass nil when unavailable).
+// The second result is false when the count is not statically predictable:
+// random selection, a MaxVariants cap, an already-lowered kernel, or
+// arithmetic beyond the cap.
+//
+// Derivation, following pipeline order: each instruction i contributes a
+// per-copy factor f_i = moveCandidates × Π immediate-choice lengths ×
+// 2^[swap-before applicable]; a repeat count c_i raises it to f_i^c_i. The
+// unroll pass multiplies the set by one variant per factor u, and the
+// swap-after pass doubles per unrolled copy of each swappable instruction:
+// 2^(u·c_i). Stride choice lists multiply the whole sum.
+func ExpectedVariants(k *ir.Kernel, moveCount func(*ir.MoveSemantics) (int, error)) (int64, bool) {
+	if k.RandomCount > 0 || k.MaxVariants > 0 || k.Unroll != 0 {
+		return 0, false
+	}
+	if k.UnrollRange.Count() == 0 {
+		return 0, false
+	}
+	type instInfo struct {
+		f         int64
+		swapAfter bool
+		rep       ir.Range
+	}
+	infos := make([]instInfo, 0, len(k.Body))
+	combos := int64(1)
+	for i := range k.Body {
+		in := &k.Body[i]
+		f := int64(1)
+		if in.Move != nil {
+			if moveCount == nil {
+				return 0, false
+			}
+			n, err := moveCount(in.Move)
+			if err != nil || n <= 0 {
+				return 0, false
+			}
+			f = int64(n)
+		}
+		for _, o := range in.Operands {
+			if o.Kind == ir.ImmOperand && len(o.ImmChoices) > 0 {
+				f *= int64(len(o.ImmChoices))
+			}
+		}
+		swappable := len(in.Operands) == 2 &&
+			((in.Operands[0].Kind == ir.MemOperand && in.Operands[1].Kind == ir.RegOperand) ||
+				(in.Operands[0].Kind == ir.RegOperand && in.Operands[1].Kind == ir.MemOperand))
+		if in.SwapBeforeUnroll && swappable {
+			f *= 2
+		}
+		rep := in.Repeat
+		if rep.Min < 1 {
+			rep = ir.Range{Min: 1, Max: 1}
+		}
+		if rep.Count() == 0 {
+			return 0, false
+		}
+		combos *= int64(rep.Count())
+		if combos > maxRepeatCombos {
+			return 0, false
+		}
+		infos = append(infos, instInfo{f: f, swapAfter: in.SwapAfterUnroll && swappable, rep: rep})
+	}
+	stride := int64(1)
+	for _, ind := range k.Inductions {
+		if n := len(ind.IncrementChoices); n > 0 {
+			stride *= int64(n)
+		}
+	}
+
+	total := int64(0)
+	counts := make([]int, len(infos))
+	for i := range infos {
+		counts[i] = infos[i].rep.Min
+	}
+	for {
+		fac := int64(1)
+		ok := true
+		for i := range infos {
+			fac, ok = mulCap(fac, powCap(infos[i].f, counts[i]))
+			if !ok {
+				return 0, false
+			}
+		}
+		sum := int64(0)
+		for u := k.UnrollRange.Min; u <= k.UnrollRange.Max; u++ {
+			t := int64(1)
+			for i := range infos {
+				if !infos[i].swapAfter {
+					continue
+				}
+				t, ok = mulCap(t, powCap(2, u*counts[i]))
+				if !ok {
+					return 0, false
+				}
+			}
+			sum += t
+			if sum > expansionCap {
+				return 0, false
+			}
+		}
+		part, ok := mulCap(fac, sum)
+		if !ok {
+			return 0, false
+		}
+		total += part
+		if total > expansionCap {
+			return 0, false
+		}
+		// Advance the repeat-count odometer.
+		i := 0
+		for ; i < len(counts); i++ {
+			counts[i]++
+			if counts[i] <= infos[i].rep.Max {
+				break
+			}
+			counts[i] = infos[i].rep.Min
+		}
+		if i == len(counts) {
+			break
+		}
+	}
+	return mustMul(total, stride)
+}
+
+// Expansion is rule V008: compare the produced variant count for one kernel
+// family against the statically-expected one. More variants than the choice
+// lists allow (or none at all) is an error; fewer is a warning, because the
+// prologue pass legitimately prunes content-identical variants.
+func Expansion(base string, got int, want int64, opt Options) Diagnostics {
+	if opt.suppressed(RuleExpansion) {
+		return nil
+	}
+	d := Diagnostic{Rule: RuleExpansion, Kernel: base, Instr: -1}
+	switch {
+	case int64(got) == want:
+		return nil
+	case got == 0:
+		d.Severity = SeverityError
+		d.Message = fmt.Sprintf("produced no variants; the choice lists predict %d", want)
+	case int64(got) > want:
+		d.Severity = SeverityError
+		d.Message = fmt.Sprintf("produced %d variants, more than the %d the choice lists allow", got, want)
+	default:
+		d.Severity = SeverityWarning
+		d.Message = fmt.Sprintf("produced %d of %d predicted variants (duplicates pruned or variants dropped)", got, want)
+	}
+	return Diagnostics{d}
+}
+
+func mulCap(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || p < 0 || p > expansionCap {
+		return 0, false
+	}
+	return p, true
+}
+
+func mustMul(a, b int64) (int64, bool) {
+	return mulCap(a, b)
+}
+
+// powCap returns base^exp capped; a capped result poisons the caller's
+// mulCap chain by exceeding expansionCap.
+func powCap(base int64, exp int) int64 {
+	out := int64(1)
+	for i := 0; i < exp; i++ {
+		var ok bool
+		out, ok = mulCap(out, base)
+		if !ok {
+			return expansionCap + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package verify is MicroTools' static verification layer: it checks every
+// generated benchmark variant — both the lowered IR kernel after the pass
+// pipeline and the emitted assembly — against a catalog of well-formedness
+// rules, and reports structured, JSON-encodable diagnostics instead of
+// silently measuring garbage programs.
+//
+// The rule catalog:
+//
+//	V000  parse        the input could not be decoded at all
+//	V001  operand-form ISA operand-form legality (count and kind per opcode,
+//	                   cross-checked against internal/isa's executable subset)
+//	V002  def-use      register read (or memory base used) before any write
+//	V003  reg-conflict physical-register conflicts after rotation/allocation
+//	V004  alignment    aligned packed accesses with misaligned offsets or
+//	                   strides
+//	V005  induction    induction-variable consistency across unrolled copies
+//	V006  loop         branch-target validity, induction-update presence and
+//	                   RET termination in emitted asm
+//	V007  pressure     register pressure against the 16+16 register file
+//	V008  expansion    variant count vs. the product of the spec's choice
+//	                   lists
+//
+// Entry points: Kernel verifies a lowered ir.Kernel, Asm / Program verify
+// emitted assembly, ExpectedVariants + Expansion implement the expansion
+// accounting. The pass pipeline runs all of them as its final
+// verify-variants pass; `microtools vet` and `microcreator -verify` expose
+// them from the command line.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Rule identifiers, stable across releases (suppression and golden tests
+// key on them).
+const (
+	RuleParse            = "V000"
+	RuleOperandForm      = "V001"
+	RuleUseBeforeDef     = "V002"
+	RuleRegisterConflict = "V003"
+	RuleAlignment        = "V004"
+	RuleInduction        = "V005"
+	RuleLoop             = "V006"
+	RulePressure         = "V007"
+	RuleExpansion        = "V008"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SeverityInfo
+	case "warning":
+		*s = SeverityWarning
+	case "error":
+		*s = SeverityError
+	default:
+		return fmt.Errorf("verify: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one verifier finding.
+type Diagnostic struct {
+	// Rule is the catalog identifier (V001, ...).
+	Rule string `json:"rule"`
+	// Severity grades the finding; only errors fail enforcement.
+	Severity Severity `json:"severity"`
+	// Kernel names the variant (or function) the finding is about.
+	Kernel string `json:"kernel,omitempty"`
+	// Instr is the instruction index within the kernel body or program
+	// (-1 for kernel-level findings).
+	Instr int `json:"instr"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic as one line.
+func (d Diagnostic) String() string {
+	where := d.Kernel
+	if d.Instr >= 0 {
+		where = fmt.Sprintf("%s#%d", d.Kernel, d.Instr)
+	}
+	return fmt.Sprintf("%s %s %s: %s", d.Rule, d.Severity, where, d.Message)
+}
+
+// Diagnostics is an ordered finding list.
+type Diagnostics []Diagnostic
+
+// Errors returns only the error-severity findings.
+func (ds Diagnostics) Errors() Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Severity == SeverityError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any finding is error-severity.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a one-line count, e.g. "2 errors, 1 warning".
+func (ds Diagnostics) Summary() string {
+	var errs, warns, infos int
+	for _, d := range ds {
+		switch d.Severity {
+		case SeverityError:
+			errs++
+		case SeverityWarning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	plural := func(n int, what string) string {
+		if n == 1 {
+			return fmt.Sprintf("%d %s", n, what)
+		}
+		return fmt.Sprintf("%d %ss", n, what)
+	}
+	out := plural(errs, "error") + ", " + plural(warns, "warning")
+	if infos > 0 {
+		out += ", " + plural(infos, "info")
+	}
+	return out
+}
+
+// Err returns nil when no error-severity findings exist, and otherwise an
+// error quoting the first one plus the overall counts.
+func (ds Diagnostics) Err() error {
+	errs := ds.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("verify: %s (first: %s)", ds.Summary(), errs[0])
+}
+
+// WriteText writes one line per diagnostic.
+func (ds Diagnostics) WriteText(w io.Writer) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the findings as an indented JSON array.
+func (ds Diagnostics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if ds == nil {
+		ds = Diagnostics{}
+	}
+	return enc.Encode(ds)
+}
+
+// Mode selects how the pipeline's verify-variants pass treats findings.
+type Mode int
+
+const (
+	// ModeEnforce (the default) fails the pipeline when any error-severity
+	// diagnostic is found.
+	ModeEnforce Mode = iota
+	// ModeCollect records diagnostics without failing (vet mode).
+	ModeCollect
+	// ModeOff skips verification entirely (the opt-out gate).
+	ModeOff
+)
+
+// Options tunes a verification run.
+type Options struct {
+	// Suppress lists rule IDs (e.g. "V004") whose findings are dropped.
+	Suppress []string
+	// GPRFile / XMMFile bound the register-pressure rule; 0 means the
+	// x86-64 defaults of 16 each.
+	GPRFile int
+	XMMFile int
+}
+
+func (o Options) suppressed(rule string) bool {
+	for _, r := range o.Suppress {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) gprFile() int {
+	if o.GPRFile > 0 {
+		return o.GPRFile
+	}
+	return 16
+}
+
+func (o Options) xmmFile() int {
+	if o.XMMFile > 0 {
+		return o.XMMFile
+	}
+	return 16
+}
+
+// addFunc accumulates diagnostics inside the rule implementations.
+type addFunc func(rule string, sev Severity, instr int, format string, args ...any)
+
+// collector builds the shared add closure for a variant name.
+func collector(name string, opt Options, ds *Diagnostics) addFunc {
+	return func(rule string, sev Severity, instr int, format string, args ...any) {
+		if opt.suppressed(rule) {
+			return
+		}
+		*ds = append(*ds, Diagnostic{
+			Rule:     rule,
+			Severity: sev,
+			Kernel:   name,
+			Instr:    instr,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// mod returns the non-negative remainder of a by m.
+func mod(a, m int64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,429 @@
+package verify_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microtools/internal/core"
+	"microtools/internal/ir"
+	"microtools/internal/isa"
+	"microtools/internal/verify"
+)
+
+// lowered builds a minimal fully-lowered, verifier-clean kernel: a movss
+// load through %rsi into a rotating XMM register, with the §4.4 loop shape.
+// Tests mutate the result to seed specific defects.
+func lowered() *ir.Kernel {
+	base := &ir.Register{Logical: "r1", Phys: isa.RSI}
+	counter := &ir.Register{Logical: "r0", Phys: isa.RDI}
+	return &ir.Kernel{
+		BaseName: "golden", Name: "golden",
+		Body: []ir.Instruction{{
+			Op: "movss",
+			Operands: []ir.Operand{
+				{Kind: ir.MemOperand, Reg: base},
+				{Kind: ir.RegOperand, Reg: &ir.Register{RotBase: "%xmm", RotRange: ir.Range{Min: 0, Max: 4}}},
+			},
+		}},
+		Inductions: []ir.Induction{
+			{Reg: base, Increment: 4, Offset: 4},
+			{Reg: counter, Increment: -1, Last: true},
+		},
+		Branch: ir.Branch{Label: ".L0", Test: "jge"},
+		Unroll: 1,
+	}
+}
+
+func rules(ds verify.Diagnostics) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Rule)
+	}
+	return out
+}
+
+func TestCleanKernelHasNoDiagnostics(t *testing.T) {
+	if ds := verify.Kernel(lowered(), verify.Options{}); len(ds) != 0 {
+		t.Fatalf("clean kernel produced diagnostics: %v", ds)
+	}
+}
+
+func TestUseBeforeDefMemoryBase(t *testing.T) {
+	k := lowered()
+	// Rebase the load onto a scratch register nothing initializes: the
+	// launcher only provides the SysV argument registers.
+	k.Body[0].Operands[0].Reg = &ir.Register{Logical: "r9", Phys: isa.R10}
+	ds := verify.Kernel(k, verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleUseBeforeDef || ds[0].Severity != verify.SeverityError {
+		t.Fatalf("want one %s error, got %v", verify.RuleUseBeforeDef, ds)
+	}
+	if ds[0].Instr != 0 || !strings.Contains(ds[0].Message, "memory base") {
+		t.Errorf("diagnostic misplaced: %+v", ds[0])
+	}
+}
+
+func TestUseBeforeDefScratchReadIsWarning(t *testing.T) {
+	k := lowered()
+	// add $1, %r10 without a prior write: defined in simulation (the
+	// launcher zero-fills the register file) but suspect — warning only.
+	k.Body = append(k.Body, ir.Instruction{
+		Op: "add",
+		Operands: []ir.Operand{
+			{Kind: ir.ImmOperand, Imm: 1},
+			{Kind: ir.RegOperand, Reg: &ir.Register{Logical: "r9", Phys: isa.R10}},
+		},
+	})
+	ds := verify.Kernel(k, verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleUseBeforeDef || ds[0].Severity != verify.SeverityWarning {
+		t.Fatalf("want one %s warning, got %v", verify.RuleUseBeforeDef, ds)
+	}
+	if ds.HasErrors() {
+		t.Error("warning counted as error")
+	}
+}
+
+func TestIllegalOperandForm(t *testing.T) {
+	k := lowered()
+	// mov mem -> GPR is outside the executable subset (no memory-to-GPR
+	// loads; the launcher protocol never needs them).
+	k.Body[0].Op = "mov"
+	k.Body[0].Operands[1] = ir.Operand{Kind: ir.RegOperand, Reg: &ir.Register{Logical: "r9", Phys: isa.R10}}
+	ds := verify.Kernel(k, verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleOperandForm || ds[0].Severity != verify.SeverityError {
+		t.Fatalf("want one %s error, got %v", verify.RuleOperandForm, ds)
+	}
+}
+
+func TestUnknownOpcodeIsOperandFormError(t *testing.T) {
+	k := lowered()
+	k.Body[0].Op = "vfmadd231ps"
+	ds := verify.Kernel(k, verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleOperandForm {
+		t.Fatalf("want one %s finding, got %v", verify.RuleOperandForm, ds)
+	}
+}
+
+func TestRegisterConflict(t *testing.T) {
+	k := lowered()
+	// Two distinct register objects landing on the same physical XMM.
+	a := &ir.Register{Logical: "x0", Phys: isa.XMM2}
+	b := &ir.Register{Logical: "x1", Phys: isa.XMM2}
+	k.Body = []ir.Instruction{{
+		Op: "addps",
+		Operands: []ir.Operand{
+			{Kind: ir.RegOperand, Reg: a},
+			{Kind: ir.RegOperand, Reg: b},
+		},
+	}}
+	ds := verify.Kernel(k, verify.Options{})
+	if got := rules(ds); len(got) != 1 || got[0] != verify.RuleRegisterConflict {
+		t.Fatalf("want [%s], got %v", verify.RuleRegisterConflict, ds)
+	}
+}
+
+func TestRotatingPoolOverlapsPinned(t *testing.T) {
+	k := lowered()
+	// Pin an XMM inside the rotating pool's sweep range.
+	k.Body = append(k.Body, ir.Instruction{
+		Op: "addps",
+		Operands: []ir.Operand{
+			{Kind: ir.RegOperand, Reg: &ir.Register{Logical: "acc", Phys: isa.XMM2}},
+			{Kind: ir.RegOperand, Reg: &ir.Register{Logical: "acc2", Phys: isa.XMM8}},
+		},
+	})
+	ds := verify.Kernel(k, verify.Options{})
+	found := false
+	for _, d := range ds {
+		if d.Rule == verify.RuleRegisterConflict && strings.Contains(d.Message, "rotating pool") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rotating-pool conflict reported: %v", ds)
+	}
+}
+
+func TestMisalignedAccess(t *testing.T) {
+	k := lowered()
+	k.Body[0].Op = "movaps"
+	k.Body[0].Operands[0].Offset = 6
+	k.Inductions[0].Increment = 16
+	ds := verify.Kernel(k, verify.Options{})
+	if got := rules(ds); len(got) != 1 || got[0] != verify.RuleAlignment {
+		t.Fatalf("want [%s], got %v", verify.RuleAlignment, ds)
+	}
+}
+
+func TestMisalignedStride(t *testing.T) {
+	k := lowered()
+	k.Body[0].Op = "movaps"
+	k.Inductions[0].Increment = 12 // offset 0 is aligned, but iteration 2 faults
+	ds := verify.Kernel(k, verify.Options{})
+	if got := rules(ds); len(got) != 1 || got[0] != verify.RuleAlignment {
+		t.Fatalf("want [%s], got %v", verify.RuleAlignment, ds)
+	}
+	if !strings.Contains(ds[0].Message, "stride") {
+		t.Errorf("message should name the stride: %s", ds[0].Message)
+	}
+}
+
+func TestInductionInconsistencyAcrossCopies(t *testing.T) {
+	k := lowered()
+	k.Unroll = 2
+	base := k.Body[0].Operands[0].Reg
+	copy1 := ir.Instruction{
+		Op: "movss",
+		Operands: []ir.Operand{
+			{Kind: ir.MemOperand, Reg: base, Offset: 999}, // should be 4 (the per-copy offset)
+			{Kind: ir.RegOperand, Reg: &ir.Register{RotBase: "%xmm", RotRange: ir.Range{Min: 0, Max: 4}, RotIdx: 1}},
+		},
+		Copy: 1,
+	}
+	k.Body = append(k.Body, copy1)
+	ds := verify.Kernel(k, verify.Options{})
+	if got := rules(ds); len(got) != 1 || got[0] != verify.RuleInduction {
+		t.Fatalf("want [%s], got %v", verify.RuleInduction, ds)
+	}
+}
+
+func TestRotationRangeExceedsFile(t *testing.T) {
+	k := lowered()
+	k.Body[0].Operands[1].Reg.RotRange = ir.Range{Min: 0, Max: 20}
+	ds := verify.Kernel(k, verify.Options{})
+	found := false
+	for _, d := range ds {
+		if d.Rule == verify.RulePressure {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s finding for a 20-wide rotation range: %v", verify.RulePressure, ds)
+	}
+}
+
+func TestSuppressionSilencesRule(t *testing.T) {
+	k := lowered()
+	k.Body[0].Op = "movaps"
+	k.Body[0].Operands[0].Offset = 6
+	k.Inductions[0].Increment = 16
+	ds := verify.Kernel(k, verify.Options{Suppress: []string{verify.RuleAlignment}})
+	if len(ds) != 0 {
+		t.Fatalf("suppressed rule still reported: %v", ds)
+	}
+}
+
+// --- asm-level golden cases ------------------------------------------------
+
+const goodAsm = `
+    .text
+    .globl golden
+golden:
+.L0:
+    movss (%rsi), %xmm0
+    add $4, %rsi
+    sub $1, %rdi
+    jge .L0
+    ret
+`
+
+func TestAsmCleanProgram(t *testing.T) {
+	if ds := verify.Asm(goodAsm, "golden", verify.Options{}); len(ds) != 0 {
+		t.Fatalf("clean asm produced diagnostics: %v", ds)
+	}
+}
+
+func TestAsmDanglingBranchTarget(t *testing.T) {
+	src := strings.Replace(goodAsm, "jge .L0", "jge .L9", 1)
+	ds := verify.Asm(src, "golden", verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleLoop || ds[0].Severity != verify.SeverityError {
+		t.Fatalf("want one %s error for the dangling target, got %v", verify.RuleLoop, ds)
+	}
+}
+
+func TestAsmMissingRet(t *testing.T) {
+	src := strings.Replace(goodAsm, "    ret\n", "", 1)
+	ds := verify.Asm(src, "golden", verify.Options{})
+	found := false
+	for _, d := range ds {
+		if d.Rule == verify.RuleLoop && strings.Contains(d.Message, "ret") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing ret not reported: %v", ds)
+	}
+}
+
+func TestAsmLoopWithoutInductionUpdate(t *testing.T) {
+	src := `
+golden:
+.L0:
+    movss (%rsi), %xmm0
+    jge .L0
+    ret
+`
+	ds := verify.Asm(src, "golden", verify.Options{})
+	found := false
+	for _, d := range ds {
+		if d.Rule == verify.RuleLoop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flagless loop not reported: %v", ds)
+	}
+}
+
+func TestAsmMisalignedInductionStride(t *testing.T) {
+	src := `
+golden:
+.L0:
+    movaps (%rsi), %xmm0
+    add $12, %rsi
+    sub $1, %rdi
+    jge .L0
+    ret
+`
+	ds := verify.Asm(src, "golden", verify.Options{})
+	if got := rules(ds); len(got) != 1 || got[0] != verify.RuleAlignment {
+		t.Fatalf("want [%s], got %v", verify.RuleAlignment, ds)
+	}
+}
+
+func TestAsmProgramReturnsDecodedProgram(t *testing.T) {
+	p, ds := verify.AsmProgram(goodAsm, "golden", verify.Options{})
+	if len(ds) != 0 {
+		t.Fatalf("diagnostics on clean asm: %v", ds)
+	}
+	if p == nil || len(p.Insts) == 0 {
+		t.Fatal("no decoded program returned")
+	}
+}
+
+// --- expansion accounting ---------------------------------------------------
+
+func TestExpansionAccounting(t *testing.T) {
+	if ds := verify.Expansion("k", 10, 10, verify.Options{}); len(ds) != 0 {
+		t.Errorf("exact match reported: %v", ds)
+	}
+	ds := verify.Expansion("k", 8, 10, verify.Options{})
+	if len(ds) != 1 || ds[0].Severity != verify.SeverityWarning || ds[0].Rule != verify.RuleExpansion {
+		t.Errorf("shortfall should be a %s warning (prologue dedup): %v", verify.RuleExpansion, ds)
+	}
+	ds = verify.Expansion("k", 12, 10, verify.Options{})
+	if len(ds) != 1 || ds[0].Severity != verify.SeverityError {
+		t.Errorf("surplus should be an error: %v", ds)
+	}
+	ds = verify.Expansion("k", 0, 10, verify.Options{})
+	if len(ds) != 1 || ds[0].Severity != verify.SeverityError {
+		t.Errorf("zero variants should be an error: %v", ds)
+	}
+}
+
+func TestExpectedVariantsUnpredictable(t *testing.T) {
+	k := lowered()
+	k.UnrollRange = ir.Range{Min: 1, Max: 1}
+	k.Unroll = 0
+	k.RandomCount = 3
+	if _, ok := verify.ExpectedVariants(k, nil); ok {
+		t.Error("random selection should be unpredictable")
+	}
+	k.RandomCount = 0
+	k.MaxVariants = 5
+	if _, ok := verify.ExpectedVariants(k, nil); ok {
+		t.Error("capped kernels should be unpredictable")
+	}
+}
+
+func TestExpectedVariantsSimple(t *testing.T) {
+	k := lowered()
+	k.Unroll = 0
+	k.UnrollRange = ir.Range{Min: 1, Max: 2}
+	k.Body[0].Operands = append(k.Body[0].Operands[:1], k.Body[0].Operands[1:]...)
+	n, ok := verify.ExpectedVariants(k, nil)
+	if !ok || n != 2 {
+		t.Fatalf("ExpectedVariants = %d, %v; want 2 (one per unroll)", n, ok)
+	}
+	// An immediate choice list multiplies the count.
+	k.Body = append(k.Body, ir.Instruction{
+		Op: "add",
+		Operands: []ir.Operand{
+			{Kind: ir.ImmOperand, ImmChoices: []int64{1, 2, 3}},
+			{Kind: ir.RegOperand, Reg: &ir.Register{Logical: "r9", Phys: isa.R10}},
+		},
+	})
+	n, ok = verify.ExpectedVariants(k, nil)
+	if !ok || n != 6 {
+		t.Fatalf("ExpectedVariants = %d, %v; want 6 (2 unrolls x 3 immediates)", n, ok)
+	}
+}
+
+// --- diagnostics plumbing ---------------------------------------------------
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []verify.Severity{verify.SeverityInfo, verify.SeverityWarning, verify.SeverityError} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back verify.Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Errorf("severity %v round-tripped to %v", s, back)
+		}
+	}
+}
+
+func TestDiagnosticsJSONAndSummary(t *testing.T) {
+	ds := verify.Diagnostics{
+		{Rule: verify.RuleAlignment, Severity: verify.SeverityError, Kernel: "k", Instr: 2, Message: "boom"},
+		{Rule: verify.RuleExpansion, Severity: verify.SeverityWarning, Kernel: "k", Instr: -1, Message: "short"},
+	}
+	if got := ds.Summary(); got != "1 error, 1 warning" {
+		t.Errorf("Summary = %q", got)
+	}
+	if err := ds.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Err = %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back verify.Diagnostics
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != ds[0] || back[1] != ds[1] {
+		t.Errorf("JSON round trip lost data: %v", back)
+	}
+}
+
+// TestSeedSpecsVerifyClean is the property the repository promises: every
+// shipped spec expands into variants the verifier fully accepts — no
+// errors, no warnings.
+func TestSeedSpecsVerifyClean(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no seed specs found")
+	}
+	for _, spec := range specs {
+		ds, progs, err := core.VetFile(spec, core.GenerateOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(progs) == 0 {
+			t.Errorf("%s: produced no programs", spec)
+		}
+		for _, d := range ds {
+			t.Errorf("%s: %s", spec, d)
+		}
+	}
+}

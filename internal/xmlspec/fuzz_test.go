@@ -1,0 +1,53 @@
+package xmlspec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the parser's contract over arbitrary input: it never
+// panics, every kernel it accepts passes spec-level validation (Parse
+// validates internally, so a kernel that fails to re-validate means the
+// parser mutated state after the check), and parsing is deterministic.
+func FuzzParse(f *testing.F) {
+	specs, _ := filepath.Glob(filepath.Join("..", "..", "specs", "*.xml"))
+	for _, spec := range specs {
+		if data, err := os.ReadFile(spec); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add(`<kernel name="k">
+  <instruction>
+    <operation>movss</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>4</max></register>
+  </instruction>
+  <induction><register><name>r1</name></register><increment>4</increment></induction>
+  <induction><register><name>r0</name></register><increment>-1</increment><last_induction/></induction>
+  <branch_information><label>.L0</label><test>jge</test></branch_information>
+</kernel>`)
+	f.Add(`<kernels></kernels>`)
+	f.Add(`not xml at all`)
+	f.Fuzz(func(t *testing.T, src string) {
+		ks, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, k := range ks {
+			if k.BaseName == "" {
+				t.Fatalf("accepted kernel without a name: %+v", k)
+			}
+			if err := k.Validate(); err != nil {
+				t.Fatalf("accepted kernel fails re-validation: %v", err)
+			}
+		}
+		ks2, err2 := ParseString(src)
+		if err2 != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err2)
+		}
+		if len(ks2) != len(ks) {
+			t.Fatalf("parse is nondeterministic: %d then %d kernels", len(ks), len(ks2))
+		}
+	})
+}

@@ -39,6 +39,7 @@ import (
 	"microtools/internal/plugin"
 	"microtools/internal/power"
 	"microtools/internal/stats"
+	"microtools/internal/verify"
 )
 
 // Re-exported types of the public surface.
@@ -88,6 +89,24 @@ type (
 	// ReportFormat selects csv or json measurement encoding for
 	// WriteMeasurements.
 	ReportFormat = launcher.ReportFormat
+	// Diagnostic is one static-verifier finding (rule, severity, kernel,
+	// instruction index, message); Diagnostics is the report of a run.
+	Diagnostic  = verify.Diagnostic
+	Diagnostics = verify.Diagnostics
+	// VerifyMode selects how generation treats verifier findings (see the
+	// VerifyEnforce/VerifyCollect/VerifyOff constants).
+	VerifyMode = verify.Mode
+)
+
+// Verification modes for GenerateOptions.Verify.
+const (
+	// VerifyEnforce (the default) fails generation on error-severity
+	// verifier diagnostics.
+	VerifyEnforce = verify.ModeEnforce
+	// VerifyCollect records diagnostics without failing generation.
+	VerifyCollect = verify.ModeCollect
+	// VerifyOff disables the verify-variants pass.
+	VerifyOff = verify.ModeOff
 )
 
 // Report formats accepted by WriteMeasurements.
@@ -112,6 +131,18 @@ func GenerateString(xml string, opts GenerateOptions) ([]Program, error) {
 // GenerateFile is Generate over a file.
 func GenerateFile(path string, opts GenerateOptions) ([]Program, error) {
 	return core.GenerateFile(path, opts)
+}
+
+// Vet runs MicroCreator in collect-only verification mode: the full pipeline
+// executes and the static verifier's findings come back as diagnostics
+// instead of failing generation (the CLI's `microtools vet`).
+func Vet(r io.Reader, opts GenerateOptions) (Diagnostics, []Program, error) {
+	return core.Vet(r, opts)
+}
+
+// VetFile is Vet over a file.
+func VetFile(path string, opts GenerateOptions) (Diagnostics, []Program, error) {
+	return core.VetFile(path, opts)
 }
 
 // LoadKernel parses assembly and selects the kernel function (§4.1).
