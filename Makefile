@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench
+.PHONY: ci build test vet lint fmt-check race bench fuzz-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build and the full test suite under the race
@@ -22,8 +22,9 @@ vet:
 lint:
 	$(GO) run ./cmd/microlint .
 
+# race also shuffles test order so inter-test state dependencies surface.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -33,5 +34,13 @@ fmt-check:
 		exit 1; \
 	fi
 
+# bench covers the paper-figure benchmarks plus BenchmarkCampaign's
+# cold-vs-warm cache comparison (root bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem .
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch a
+# regression in the parsers' error paths without stalling CI.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/xmlspec
+	$(GO) test -run='^$$' -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/asm

@@ -7,8 +7,10 @@ package microtools
 // The Ablation* benchmarks quantify the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"path/filepath"
 	"slices"
 	"strings"
 	"testing"
@@ -35,7 +37,7 @@ func runExperiment(b *testing.B, id string) *stats.Table {
 	}
 	var tab *stats.Table
 	for i := 0; i < b.N; i++ {
-		tab, err = e.Run(experiments.Config{Quick: true})
+		tab, err = e.Run(context.Background(), experiments.Config{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +255,7 @@ func launchOnMachine(b *testing.B, desc *machine.Machine, prog *isa.Program, arr
 	opts.InnerReps = 1
 	opts.OuterReps = 1
 	opts.MaxInstructions = 60_000
-	m, err := launcher.LaunchOn(mach, prog, opts)
+	m, err := launcher.LaunchOn(context.Background(), mach, prog, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -376,7 +378,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkGenerate510Variants(b *testing.B) {
 	spec := fig6Spec()
 	for i := 0; i < b.N; i++ {
-		progs, err := GenerateString(spec, GenerateOptions{})
+		progs, err := GenerateString(context.Background(), spec, GenerateOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -402,7 +404,7 @@ func BenchmarkVerifyVariants(b *testing.B) {
 	// generate runs MicroCreator and leaves every program decoded, exactly
 	// as a launch campaign would consume it.
 	generate := func(opts GenerateOptions) int {
-		progs, err := GenerateString(spec, opts)
+		progs, err := GenerateString(context.Background(), spec, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -522,7 +524,7 @@ func BenchmarkLaunchUntraced(b *testing.B) {
 	opts := obsLaunchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Launch(prog, opts); err != nil {
+		if _, err := Launch(context.Background(), prog, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -539,7 +541,7 @@ func BenchmarkLaunchTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opts.Tracer = NewTracer()
-		if _, err := Launch(prog, opts); err != nil {
+		if _, err := Launch(context.Background(), prog, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -555,8 +557,67 @@ func BenchmarkLaunchCounters(b *testing.B) {
 	opts.CollectCounters = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Launch(prog, opts); err != nil {
+		if _, err := Launch(context.Background(), prog, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCampaign compares a cold campaign (every variant generated,
+// launched and cached) against a cache-warm re-run of the identical
+// campaign (every variant served from the content-addressed store, zero
+// launches). The gap is the measurement cost the cache amortizes across
+// repeated or resumed sweeps.
+func BenchmarkCampaign(b *testing.B) {
+	spec := fig6Spec()
+	gen := GenerateOptions{}
+	launch := DefaultLaunchOptions()
+	launch.MachineName = "nehalem-dual/8"
+	launch.ArrayBytes = 1 << 12
+	launch.InnerReps = 1
+	launch.OuterReps = 1
+	launch.MaxInstructions = 2_000
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := OpenMeasurementCache(filepath.Join(b.TempDir(), "m.jsonl"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := RunCampaign(context.Background(), strings.NewReader(spec), gen,
+				CampaignOptions{Launch: launch, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Launches != res.Emitted || res.CacheHits != 0 {
+				b.Fatalf("cold run: %d launches, %d hits over %d variants",
+					res.Launches, res.CacheHits, res.Emitted)
+			}
+			cache.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "m.jsonl")
+		cache, err := OpenMeasurementCache(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cache.Close()
+		if _, err := RunCampaign(context.Background(), strings.NewReader(spec), gen,
+			CampaignOptions{Launch: launch, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := RunCampaign(context.Background(), strings.NewReader(spec), gen,
+				CampaignOptions{Launch: launch, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Launches != 0 || res.CacheHits != res.Emitted {
+				b.Fatalf("warm run: %d launches, %d hits over %d variants",
+					res.Launches, res.CacheHits, res.Emitted)
+			}
+		}
+	})
 }

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"microtools/internal/core"
 	"microtools/internal/obs"
@@ -43,6 +46,10 @@ func main() {
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004,V008)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels generation between passes and variants.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *listPasses {
 		m := passes.NewManager()
@@ -86,9 +93,9 @@ func main() {
 		var progs []core.GeneratedProgram
 		var err error
 		if *input == "-" {
-			ds, progs, err = core.Vet(os.Stdin, opts)
+			ds, progs, err = core.Vet(ctx, os.Stdin, opts)
 		} else {
-			ds, progs, err = core.VetFile(*input, opts)
+			ds, progs, err = core.VetFile(ctx, *input, opts)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
@@ -117,9 +124,9 @@ func main() {
 	var progs []core.GeneratedProgram
 	var err error
 	if *input == "-" {
-		progs, err = core.Generate(os.Stdin, opts)
+		progs, err = core.Generate(ctx, os.Stdin, opts)
 	} else {
-		progs, err = core.GenerateFile(*input, opts)
+		progs, err = core.GenerateFile(ctx, *input, opts)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)

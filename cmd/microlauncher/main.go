@@ -12,14 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"microtools/internal/codegen"
 	"microtools/internal/core"
+	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
 	"microtools/internal/obs"
@@ -31,7 +36,8 @@ func main() {
 	var (
 		// Input selection.
 		kernelPath = flag.String("kernel", "", "kernel assembly file (required; - for stdin)")
-		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1)")
+		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1); -function all measures every function")
+		workers    = flag.Int("workers", 0, "worker pool size when measuring several functions (0 = GOMAXPROCS); each kernel runs on its own simulated machine, so results match a serial run")
 		noVerify   = flag.Bool("no-verify", false, "skip the pre-launch static verification of the kernel (internal/verify)")
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004)")
 		// Machine / environment.
@@ -74,6 +80,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the measurement between repetitions.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "microlauncher: %v\n", err)
 		os.Exit(1)
@@ -102,22 +112,34 @@ func main() {
 			fail(err)
 		}
 	}
-	prog, err := core.LoadKernel(string(src), *function)
-	if err != nil {
-		fail(err)
-	}
-	if *dump {
-		fmt.Fprint(os.Stderr, prog.Print())
-	}
-	if !*noVerify {
-		vopt := verify.Options{}
-		if *suppress != "" {
-			vopt.Suppress = strings.Split(*suppress, ",")
+	var kernels []*isa.Program
+	if *function == "all" {
+		all, err := core.LoadKernels(string(src))
+		if err != nil {
+			fail(err)
 		}
-		if ds := verify.Program(prog, prog.Name, vopt); len(ds) > 0 {
-			ds.WriteText(os.Stderr)
-			if ds.HasErrors() {
-				fail(fmt.Errorf("kernel failed static verification (%s); pass -no-verify to launch anyway", ds.Summary()))
+		kernels = all
+	} else {
+		prog, err := core.LoadKernel(string(src), *function)
+		if err != nil {
+			fail(err)
+		}
+		kernels = append(kernels, prog)
+	}
+	for _, prog := range kernels {
+		if *dump {
+			fmt.Fprint(os.Stderr, prog.Print())
+		}
+		if !*noVerify {
+			vopt := verify.Options{}
+			if *suppress != "" {
+				vopt.Suppress = strings.Split(*suppress, ",")
+			}
+			if ds := verify.Program(prog, prog.Name, vopt); len(ds) > 0 {
+				ds.WriteText(os.Stderr)
+				if ds.HasErrors() {
+					fail(fmt.Errorf("kernel %s failed static verification (%s); pass -no-verify to launch anyway", prog.Name, ds.Summary()))
+				}
 			}
 		}
 	}
@@ -193,15 +215,47 @@ func main() {
 			opts.NoiseSeed, opts.NoiseSeed)
 	}
 
-	m, err := launcher.Launch(prog, opts)
-	if err != nil {
+	var ms []*launcher.Measurement
+	if len(kernels) == 1 {
+		m, err := launcher.Launch(ctx, kernels[0], opts)
+		if err != nil {
+			fail(err)
+		}
+		ms = []*launcher.Measurement{m}
+	} else {
+		// Several functions: fan the launches out over -workers. Each
+		// kernel gets its own simulated machine, so the measurements are
+		// bit-identical to launching the functions one at a time.
+		progs := make([]codegen.Program, len(kernels))
+		for i, k := range kernels {
+			progs[i] = codegen.Program{Name: k.Name, Parsed: k}
+		}
+		all, err := core.LaunchAllProgress(ctx, progs, opts, *workers, func(done, total int) {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "microlauncher: %d/%d functions measured\n", done, total)
+			}
+		})
+		if err != nil {
+			for _, m := range all {
+				if m != nil {
+					ms = append(ms, m)
+				}
+			}
+			if len(ms) > 0 {
+				launcher.WriteReport(os.Stdout, reportFormat, ms)
+			}
+			fail(err)
+		}
+		ms = all
+	}
+	if err := launcher.WriteReport(os.Stdout, reportFormat, ms); err != nil {
 		fail(err)
 	}
-	if err := launcher.WriteReport(os.Stdout, reportFormat, []*launcher.Measurement{m}); err != nil {
-		fail(err)
-	}
+	m := ms[len(ms)-1]
 	if *memStats {
-		fmt.Fprintf(os.Stderr, "mem: %+v\n", m.MemStats)
+		for _, m := range ms {
+			fmt.Fprintf(os.Stderr, "mem %s: %+v\n", m.Kernel, m.MemStats)
+		}
 	}
 	if *counters && reportFormat == launcher.ReportCSV && m.Counters != nil {
 		c := m.Counters

@@ -17,6 +17,10 @@
 //	      returned); a dropped span silently truncates the trace tree.
 //	L005  error strings (errors.New, fmt.Errorf) must not be capitalized
 //	      and must not end with punctuation or a newline.
+//	L006  library packages must stay cancellable: no context.Background()
+//	      or context.TODO() outside cmd/ and tests (contexts are created at
+//	      the entry points and threaded down), and an exported function that
+//	      takes a context.Context must take it as its first parameter.
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -182,6 +186,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkGlobalRand(ctx)
 	checkSpans(ctx)
 	checkErrorStrings(ctx)
+	checkContext(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
 		if !ctx.isSuppressed(d) {
@@ -377,6 +382,57 @@ func checkErrorStrings(c *fileContext) {
 		}
 		return true
 	})
+}
+
+// checkContext implements L006. Library packages must not mint their own
+// root contexts — context.Background()/context.TODO() there severs the
+// caller's cancellation chain, so a Ctrl-C at the CLI would no longer stop
+// the work. Roots belong in package main (and tests); libraries accept a
+// ctx and pass it on. The companion convention check keeps the ctx visible:
+// an exported function that accepts a context.Context takes it first, so
+// every long-running entry point reads Run(ctx, ...).
+func checkContext(c *fileContext) {
+	if !c.library {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkgCall(c, call, "context"); ok && (fn == "Background" || fn == "TODO") {
+			c.report(call.Pos(), "L006",
+				"context.%s in a library package severs the caller's cancellation chain: accept a ctx parameter and thread it down", fn)
+		}
+		return true
+	})
+	for _, decl := range c.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+			continue
+		}
+		for i, field := range fn.Type.Params.List {
+			if !isContextType(c, field.Type) {
+				continue
+			}
+			if i != 0 {
+				c.report(field.Pos(), "L006",
+					"%s takes a context.Context that is not its first parameter: contexts lead the signature by convention", fn.Name.Name)
+			}
+			break
+		}
+	}
+}
+
+// isContextType matches the syntactic type context.Context under the file's
+// local import name for the context package.
+func isContextType(c *fileContext, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && c.imports[id.Name] == "context"
 }
 
 // checkSpans implements L004: a span bound to a local variable via a

@@ -3,6 +3,7 @@
 package bad
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,6 +52,29 @@ func badErrors() error {
 		return err
 	}
 	return fmt.Errorf("bad thing happened.")
+}
+
+// mintedRoot trips L006 twice: Background and TODO both sever the caller's
+// cancellation chain.
+func mintedRoot() context.Context {
+	_ = context.TODO()
+	return context.Background()
+}
+
+// MisplacedCtx trips L006: a context.Context that is not the first
+// parameter. The unexported form below is tolerated (the convention binds
+// the public surface).
+func MisplacedCtx(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+func misplacedButUnexported(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// CtxFirst follows the convention and is clean.
+func CtxFirst(ctx context.Context, name string) error {
+	return ctx.Err()
 }
 
 // suppressed would trip L003 but is disabled in place.

@@ -2,6 +2,7 @@
 package clean
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,17 @@ func seeded(seed int64) int {
 // writeTo prints through an injected writer, not stdout.
 func writeTo(w io.Writer, n int) {
 	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// Sweep accepts its context first and threads it down instead of minting a
+// root — the sanctioned shape for a long-running library entry point.
+func Sweep(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // lowerErr follows the error-string conventions.

@@ -7,7 +7,13 @@
 //	microtools -list
 //	microtools -experiment fig11 [-quick] [-csv out.csv] [-v]
 //	microtools -all [-quick] [-outdir results/]
+//	microtools -study spec.xml [-workers N] [-cache measurements.jsonl] [-fail-fast]
 //	microtools vet [-json] [-suppress V004,V008] spec.xml...
+//
+// The -study flow runs as a campaign (internal/campaign): generated
+// variants stream into a cancellable worker pool, failures are isolated
+// per variant, and -cache keeps a content-addressed measurement store so
+// an interrupted or repeated study resumes without re-measuring.
 //
 // The vet subcommand runs MicroCreator's static verifier over every variant
 // a spec expands to — without launching anything — and reports the findings
@@ -16,14 +22,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"microtools/internal/analysis"
+	"microtools/internal/campaign"
 	"microtools/internal/core"
 	"microtools/internal/experiments"
 	"microtools/internal/launcher"
@@ -34,7 +44,7 @@ import (
 // runVet implements the vet subcommand: collect-only verification of one or
 // more XML kernel descriptions. Exit status 1 means error-severity findings
 // (or an unreadable input), 0 means clean or warnings only.
-func runVet(args []string) {
+func runVet(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	var (
 		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
@@ -60,7 +70,7 @@ func runVet(args []string) {
 	}
 	var all verify.Diagnostics
 	for _, path := range fs.Args() {
-		ds, progs, err := core.VetFile(path, opts)
+		ds, progs, err := core.VetFile(ctx, path, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "microtools: vet: %v\n", err)
 			os.Exit(1)
@@ -88,8 +98,13 @@ func runVet(args []string) {
 }
 
 func main() {
+	// Ctrl-C / SIGTERM cancels the running campaign or experiment; a study
+	// returns its partial results (and its cache keeps what was measured).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
-		runVet(os.Args[2:])
+		runVet(ctx, os.Args[2:])
 		return
 	}
 	var (
@@ -107,6 +122,9 @@ func main() {
 		vFlag    = flag.Bool("v", false, "progress on stderr")
 		report   = flag.String("report", "csv", "encoding for the -study measurement table written with -csv: csv|json")
 		counters = flag.Bool("counters", false, "collect simulated-PMU counters for every -study measurement")
+		workers  = flag.Int("workers", 0, "launch pool size for -study (0 = GOMAXPROCS); results are bit-identical to a serial run")
+		cacheP   = flag.String("cache", "", "content-addressed measurement cache (JSONL) for -study: hits skip the launch, so an interrupted study resumes where it stopped")
+		failFast = flag.Bool("fail-fast", false, "stop the -study campaign on the first variant failure instead of isolating it")
 		traceOut = flag.String("trace", "", "write a span trace of the -study campaign (generation + every launch) to this file (.json = Chrome trace_event, .jsonl = spans per line)")
 	)
 	flag.Parse()
@@ -133,7 +151,7 @@ func main() {
 
 	runOne := func(e *experiments.Experiment, csvPath string) error {
 		fmt.Printf("== %s: %s\n   machine: %s\n", e.ID, e.Title, e.Machine)
-		tab, err := e.Run(cfg)
+		tab, err := e.Run(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -161,11 +179,6 @@ func main() {
 
 	switch {
 	case *study != "":
-		f, err := os.Open(*study)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
 		reportFormat, err := launcher.ParseReportFormat(*report)
 		if err != nil {
 			fail(err)
@@ -183,36 +196,93 @@ func main() {
 			tracer = obs.New()
 			opts.Tracer = tracer
 		}
-		progs, err := core.Generate(f, core.GenerateOptions{Tracer: tracer})
-		if err != nil {
-			fail(err)
-		}
+		var ms []*launcher.Measurement
+		partial := false
 		if *screen > 0 {
-			kept, err := core.ScreenTopK(progs, *machine, *size, int(opts.ElementBytes), *screen)
+			// Screening needs the whole variant family in hand before
+			// ranking, so this path materializes the programs instead of
+			// streaming them through the campaign engine.
+			f, err := os.Open(*study)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			progs, err := core.Generate(ctx, f, core.GenerateOptions{Tracer: tracer})
+			if err != nil {
+				fail(err)
+			}
+			kept, err := core.ScreenTopK(ctx, progs, *machine, *size, int(opts.ElementBytes), *screen)
 			if err != nil {
 				fail(err)
 			}
 			fmt.Printf("analytic screening: %d of %d variants kept for measurement\n", len(kept), len(progs))
-			progs = kept
-		}
-		// Campaign progress: variants done/total with an ETA extrapolated
-		// from the elapsed measurement time.
-		started := time.Now()
-		progress := func(done, total int) {
-			elapsed := time.Since(started)
-			var eta time.Duration
-			if done > 0 {
-				eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
+			started := time.Now()
+			progress := func(done, total int) {
+				elapsed := time.Since(started)
+				var eta time.Duration
+				if done > 0 {
+					eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
+				}
+				fmt.Fprintf(os.Stderr, "microtools: launched %d/%d variants (%.0f%%), elapsed %s, eta %s\n",
+					done, total, 100*float64(done)/float64(total), elapsed.Round(time.Second), eta)
 			}
-			fmt.Fprintf(os.Stderr, "microtools: launched %d/%d variants (%.0f%%), elapsed %s, eta %s\n",
-				done, total, 100*float64(done)/float64(total), elapsed.Round(time.Second), eta)
-		}
-		if !*vFlag {
-			progress = nil
-		}
-		ms, err := core.LaunchAllProgress(progs, opts, 0, progress)
-		if err != nil {
-			fail(err)
+			if !*vFlag {
+				progress = nil
+			}
+			ms, err = core.LaunchAllProgress(ctx, kept, opts, *workers, progress)
+			if err != nil {
+				fail(err)
+			}
+		} else {
+			copts := campaign.Options{
+				Launch:   opts,
+				Workers:  *workers,
+				FailFast: *failFast,
+				Tracer:   tracer,
+			}
+			if *cacheP != "" {
+				cache, err := campaign.OpenCache(*cacheP)
+				if err != nil {
+					fail(err)
+				}
+				defer cache.Close()
+				copts.Cache = cache
+			}
+			if *vFlag {
+				// Progress with an ETA extrapolated from the elapsed
+				// measurement time; while the generator is still emitting the
+				// total (and so the ETA) is a lower bound.
+				started := time.Now()
+				copts.Progress = func(p campaign.Progress) {
+					elapsed := time.Since(started)
+					var eta time.Duration
+					if p.Done > 0 {
+						eta = time.Duration(float64(elapsed) / float64(p.Done) * float64(p.Emitted-p.Done)).Round(time.Second)
+					}
+					total := fmt.Sprintf("%d", p.Emitted)
+					if p.Generating {
+						total += "+"
+					}
+					fmt.Fprintf(os.Stderr, "microtools: %d/%s variants (%d cached, %d failed), elapsed %s, eta %s\n",
+						p.Done, total, p.CacheHits, p.Failed, elapsed.Round(time.Second), eta)
+				}
+			}
+			res, err := campaign.RunFile(ctx, *study, core.GenerateOptions{Tracer: tracer}, copts)
+			if err != nil {
+				// Partial results (a canceled or partly failed campaign) are
+				// still reported below the error; the exit status stays
+				// non-zero so scripts notice the incomplete sweep.
+				fmt.Fprintf(os.Stderr, "microtools: %v\n", err)
+				if res == nil || len(res.Measurements()) == 0 {
+					os.Exit(1)
+				}
+				partial = true
+			}
+			if *vFlag && res != nil {
+				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures\n",
+					res.Emitted, res.Launches, res.CacheHits, res.Failures)
+			}
+			ms = res.Measurements()
 		}
 		ranking := analysis.RankPerElement(ms)
 		fmt.Print(ranking.Report())
@@ -240,6 +310,9 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("trace: %s (%d spans)\n", *traceOut, len(tracer.Records()))
+		}
+		if partial {
+			os.Exit(1)
 		}
 	case *expID != "":
 		e, err := experiments.ByID(*expID)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -63,10 +64,11 @@ const hotspotSpec = `
 </kernel>`
 
 func main() {
+	ctx := context.Background()
 	const machineName = "nehalem-dual/8"
 
 	// 1. MicroCreator: expand the hotspot's variant space.
-	progs, err := microtools.GenerateString(hotspotSpec, microtools.GenerateOptions{})
+	progs, err := microtools.GenerateString(ctx, hotspotSpec, microtools.GenerateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := microtools.Launch(kernel, opts)
+		m, err := microtools.Launch(ctx, kernel, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -12,8 +13,8 @@ import (
 	"microtools"
 )
 
-func run(id string) *microtools.Table {
-	tab, err := microtools.RunExperiment(id, microtools.ExperimentConfig{
+func run(ctx context.Context, id string) *microtools.Table {
+	tab, err := microtools.RunExperiment(ctx, id, microtools.ExperimentConfig{
 		Quick:   true,
 		Verbose: os.Stderr,
 	})
@@ -24,8 +25,9 @@ func run(id string) *microtools.Table {
 }
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("== Fig. 3: where does the working set live? ==")
-	fig3 := run("fig03")
+	fig3 := run(ctx, "fig03")
 	fmt.Println(fig3.ASCII(60, 12))
 	s := fig3.Series[0]
 	knee := 0.0
@@ -41,14 +43,14 @@ func main() {
 	}
 
 	fmt.Println("\n== Fig. 4: does alignment matter at the cache-resident size? ==")
-	fig4 := run("fig04")
+	fig4 := run(ctx, "fig04")
 	a := fig4.Series[0]
 	spread := (a.MaxY() - a.MinY()) / a.MinY() * 100
 	fmt.Printf("alignment spread: %.2f%% across %d configurations\n", spread, len(a.Points))
 	fmt.Println("-> like the paper (<3%), alignment is not the lever at this size")
 
 	fmt.Println("\n== Fig. 5: how much does unrolling buy? ==")
-	fig5 := run("fig05")
+	fig5 := run(ctx, "fig05")
 	fmt.Println(fig5.ASCII(60, 12))
 	actual := fig5.Get("actual code")
 	micro := fig5.Get("microbenchmark")

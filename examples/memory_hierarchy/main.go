@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,17 +15,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := microtools.ExperimentConfig{Quick: true, Verbose: os.Stderr}
 
 	fmt.Println("== Fig. 11: movaps across the hierarchy ==")
-	f11, err := microtools.RunExperiment("fig11", cfg)
+	f11, err := microtools.RunExperiment(ctx, "fig11", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(f11.ASCII(60, 12))
 
 	fmt.Println("== Fig. 12: movss across the hierarchy ==")
-	f12, err := microtools.RunExperiment("fig12", cfg)
+	f12, err := microtools.RunExperiment(ctx, "fig12", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func main() {
 		apsRAM/16, ssRAM/4)
 
 	fmt.Println("== Fig. 13: which levels follow the core clock? ==")
-	f13, err := microtools.RunExperiment("fig13", cfg)
+	f13, err := microtools.RunExperiment(ctx, "fig13", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

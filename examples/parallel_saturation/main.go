@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,10 +14,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := microtools.ExperimentConfig{Quick: true, Verbose: os.Stderr}
 
 	fmt.Println("== Fig. 14: forked processes on the dual-socket Nehalem ==")
-	f14, err := microtools.RunExperiment("fig14", cfg)
+	f14, err := microtools.RunExperiment(ctx, "fig14", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,11 +39,11 @@ func main() {
 	}
 
 	fmt.Println("== Figs. 17/18: OpenMP vs sequential ==")
-	f17, err := microtools.RunExperiment("fig17", cfg)
+	f17, err := microtools.RunExperiment(ctx, "fig17", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	f18, err := microtools.RunExperiment("fig18", cfg)
+	f18, err := microtools.RunExperiment(ctx, "fig18", cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

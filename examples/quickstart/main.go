@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -42,8 +43,9 @@ const spec = `
 </kernel>`
 
 func main() {
+	ctx := context.Background()
 	// MicroCreator: one XML description -> four benchmark programs.
-	progs, err := microtools.GenerateString(spec, microtools.GenerateOptions{})
+	progs, err := microtools.GenerateString(ctx, spec, microtools.GenerateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := microtools.Launch(kernel, opts)
+		m, err := microtools.Launch(ctx, kernel, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

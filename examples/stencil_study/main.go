@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -78,7 +79,8 @@ const spec = `
 </kernel>`
 
 func main() {
-	progs, err := microtools.GenerateString(spec, microtools.GenerateOptions{})
+	ctx := context.Background()
+	progs, err := microtools.GenerateString(ctx, spec, microtools.GenerateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func main() {
 			opts.InnerReps = 2
 			opts.OuterReps = 2
 			opts.Verbose = nil
-			m, err := microtools.Launch(kernel, opts)
+			m, err := microtools.Launch(ctx, kernel, opts)
 			if err != nil {
 				log.Fatal(err)
 			}

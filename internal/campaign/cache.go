@@ -1,0 +1,202 @@
+package campaign
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/memsim"
+)
+
+// keyVersion is folded into every cache key so a future change to the key
+// recipe or the Measurement encoding invalidates old entries instead of
+// serving stale ones.
+const keyVersion = "microtools-campaign-v1"
+
+// Key derives the content-addressed cache key for measuring a kernel under
+// the given options: SHA-256 over (1) the canonical kernel assembly — the
+// decoded program re-printed, so formatting-only differences in the input
+// text hash identically; (2) every measurement-relevant launcher option
+// (output writers and tracers excluded); and (3) the resolved machine
+// model's parameters, so editing a machine description invalidates entries
+// measured under the old model.
+func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
+	if kernel == nil {
+		return "", fmt.Errorf("campaign: nil kernel")
+	}
+	scrub := opts
+	scrub.Verbose = nil
+	scrub.Tracer = nil
+	optJSON, err := json.Marshal(scrub)
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing options: %w", err)
+	}
+	desc, err := machine.ByName(opts.MachineName)
+	if err != nil {
+		return "", err
+	}
+	// The machine model without its Arch pointer (the name identifies the
+	// ISA/uarch tables; the measurable parameters are listed explicitly).
+	machJSON, err := json.Marshal(struct {
+		Name              string
+		Cores             int
+		Sockets           int
+		CoreGHz           float64
+		UncoreGHz         float64
+		RefGHz            float64
+		Hierarchy         memsim.HierarchyConfig
+		FrequencyStepsGHz []float64
+	}{desc.Name, desc.Cores, desc.Sockets, desc.CoreGHz, desc.UncoreGHz,
+		desc.RefGHz, desc.Hierarchy, desc.FrequencyStepsGHz})
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing machine model: %w", err)
+	}
+	h := sha256.New()
+	for _, part := range [][]byte{[]byte(keyVersion), []byte(kernel.Print()), optJSON, machJSON} {
+		h.Write(part)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is one JSONL line of the on-disk store.
+type cacheEntry struct {
+	Key         string          `json:"key"`
+	Measurement json.RawMessage `json:"measurement"`
+}
+
+// Cache is a content-addressed measurement store: Key → Measurement,
+// optionally backed by an append-only JSONL file. Completed measurements
+// are flushed to disk as they land, so an interrupted campaign's cache is
+// a valid checkpoint and re-running the campaign resumes from it, skipping
+// every already-measured variant.
+//
+// Entries are held as raw JSON and decoded on every Get, so callers always
+// receive a private copy — and a cache hit is bit-identical to the cold
+// measurement, because Put canonicalizes the stored value through the same
+// encoding (see Put). Corrupted lines in the backing file (a torn write
+// from a killed process, stray garbage) are skipped at load time: a
+// corrupt entry degrades to a cache miss, never to an error.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	file    *os.File // nil for a memory-only cache
+}
+
+// NewMemoryCache returns a cache with no backing file (useful for tests
+// and single-process warm reruns).
+func NewMemoryCache() *Cache {
+	return &Cache{entries: map[string]json.RawMessage{}}
+}
+
+// OpenCache opens (creating if needed) a JSONL-backed cache at path and
+// loads every well-formed entry. Malformed lines are tolerated and
+// skipped.
+func OpenCache(path string) (*Cache, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{entries: map[string]json.RawMessage{}, file: f}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" || len(e.Measurement) == 0 {
+			continue // corrupt line: degrade to a miss
+		}
+		var m launcher.Measurement
+		if err := json.Unmarshal(e.Measurement, &m); err != nil {
+			continue
+		}
+		c.entries[e.Key] = append(json.RawMessage(nil), e.Measurement...)
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		f.Close()
+		return nil, err
+	}
+	// Future writes append after whatever was readable.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Len reports the number of cached measurements.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get returns the cached measurement for key, decoded into a fresh value
+// the caller owns, or (nil, false) on a miss.
+func (c *Cache) Get(key string) (*launcher.Measurement, bool) {
+	c.mu.Lock()
+	raw, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	var m launcher.Measurement
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, false
+	}
+	return &m, true
+}
+
+// Put stores a measurement under key, appending it to the backing file
+// when one is attached, and returns the canonicalized measurement — the
+// value decoded back out of the stored encoding. Callers should adopt the
+// returned value: it is what every future Get for this key yields, so cold
+// and cache-warm campaign results stay bit-identical by construction. A
+// measurement that does not survive the encoding (e.g. a NaN value) is
+// reported as an error and simply not cached.
+func (c *Cache) Put(key string, m *launcher.Measurement) (*launcher.Measurement, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: measurement not cacheable: %w", err)
+	}
+	var canon launcher.Measurement
+	if err := json.Unmarshal(raw, &canon); err != nil {
+		return nil, fmt.Errorf("campaign: measurement does not round-trip: %w", err)
+	}
+	line, err := json.Marshal(cacheEntry{Key: key, Measurement: raw})
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = raw
+	if c.file != nil {
+		if _, err := c.file.Write(line); err != nil {
+			return &canon, fmt.Errorf("campaign: cache append: %w", err)
+		}
+	}
+	return &canon, nil
+}
+
+// Close releases the backing file (a no-op for memory caches).
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		return nil
+	}
+	err := c.file.Close()
+	c.file = nil
+	return err
+}

@@ -1,0 +1,412 @@
+// Package campaign is the engine behind the paper's end-to-end workflow at
+// sweep scale: MicroCreator expands one XML spec into hundreds or
+// thousands of variants and MicroLauncher measures every one (§3–§4). At
+// that scale the driver — not the simulator — is the bottleneck and the
+// reliability risk, so the engine restructures generate→launch→analyze
+// around four properties:
+//
+//   - streaming: variants flow from the pass pipeline through a bounded
+//     buffer into the launch pool (core.GenerateStream), so a 10k-variant
+//     family never materializes all rendered programs at once;
+//   - cancellation: one context.Context threads end to end; canceling it
+//     stops generation and measurement within one variant and returns the
+//     partial result set with ctx.Err();
+//   - fault isolation: a failing variant yields a structured per-variant
+//     error in the result set instead of discarding the campaign; the
+//     aggregate error lists every failure, and FailFast restores
+//     stop-on-first-error semantics when wanted;
+//   - caching: a content-addressed measurement cache (hash of canonical
+//     kernel assembly + launcher options + machine model → Measurement,
+//     backed by an append-only JSONL store) lets an identical or
+//     overlapping re-run skip already-measured variants, which is also the
+//     checkpoint/resume story for interrupted sweeps.
+//
+// Results are deterministic and bit-identical across serial, parallel and
+// cache-warm runs: every variant runs on its own simulated machine, and
+// cache entries are canonicalized through the store encoding on the cold
+// run (Cache.Put), so a hit replays exactly what the miss produced.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"microtools/internal/asm"
+	"microtools/internal/codegen"
+	"microtools/internal/core"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/obs"
+)
+
+// VariantError re-exports the per-variant failure record shared with core.
+type VariantError = core.VariantError
+
+// Error aggregates every variant failure of a campaign.
+type Error struct {
+	// Failed lists the failed variants in generation order.
+	Failed []*VariantError
+	// Total is the number of variants the campaign emitted.
+	Total int
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d of %d variants failed:", len(e.Failed), e.Total)
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, "\n  %s: %v", f.Name, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-variant errors to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}
+
+// launchFunc measures one kernel; tests substitute it to inject faults.
+type launchFunc func(context.Context, *isa.Program, launcher.Options) (*launcher.Measurement, error)
+
+// Options configures a campaign run.
+type Options struct {
+	// Launch is the measurement configuration applied to every variant.
+	Launch launcher.Options
+	// Workers sizes the launch pool (<= 0 means GOMAXPROCS). Every
+	// variant runs on its own simulated machine, so results are
+	// bit-identical to a serial run; only wall-clock time changes.
+	Workers int
+	// Buffer bounds the in-flight variant queue between the generator and
+	// the launch pool (<= 0 means 2×Workers): generation stalls rather
+	// than materializing an unbounded program backlog.
+	Buffer int
+	// FailFast cancels the campaign on the first variant failure instead
+	// of isolating it and measuring the rest.
+	FailFast bool
+	// Cache, when non-nil, consults and fills the content-addressed
+	// measurement cache; hits skip the launch entirely.
+	Cache *Cache
+	// Progress, when non-nil, receives a snapshot after every variant
+	// completes (from whichever worker finished it).
+	Progress func(Progress)
+	// Tracer, when non-nil, records the campaign as a span tree:
+	// "campaign" > per-variant "variant" spans with "cache.hit"/
+	// "cache.miss" children (and the launcher's own spans for misses).
+	Tracer *obs.Tracer
+	// Counters, when non-nil, accumulates campaign-level event counters:
+	// campaign.variants, campaign.launches, campaign.cache.hits,
+	// campaign.cache.misses, campaign.failures.
+	Counters *obs.CounterSet
+
+	// launch substitutes the launcher in tests (nil = launcher.Launch).
+	launch launchFunc
+}
+
+// Progress is one campaign progress snapshot.
+type Progress struct {
+	// Done counts completed variants (measured, cache-hit, or failed).
+	Done int
+	// Emitted counts variants the generator has produced so far; it is
+	// the final total once Generating is false.
+	Emitted int
+	// Generating reports whether the generator is still emitting.
+	Generating bool
+	// CacheHits and Failed break down the completions so far.
+	CacheHits int
+	Failed    int
+}
+
+// VariantResult is one variant's outcome.
+type VariantResult struct {
+	// Index is the variant's position in generation order.
+	Index int
+	// Name is the variant's kernel name.
+	Name string
+	// Measurement is the result (nil when Err is set).
+	Measurement *launcher.Measurement
+	// CacheHit reports that the measurement was served from the cache.
+	CacheHit bool
+	// Err is the variant's failure (nil on success).
+	Err error
+}
+
+// Result is a campaign's outcome: every completed variant in generation
+// order, plus the engine's own accounting.
+type Result struct {
+	// Results holds the completed variants in generation order. On a
+	// canceled campaign it holds only the variants that finished before
+	// the cancellation.
+	Results []VariantResult
+	// Emitted is the number of variants the generator produced.
+	Emitted int
+	// Launches counts actual launcher runs (cache misses); a warm-cache
+	// re-run of an identical campaign performs zero.
+	Launches int
+	// CacheHits and Failures break down the completions.
+	CacheHits int
+	Failures  int
+}
+
+// Measurements returns the successful measurements in generation order
+// (failed or unfinished variants are skipped).
+func (r *Result) Measurements() []*launcher.Measurement {
+	out := make([]*launcher.Measurement, 0, len(r.Results))
+	for i := range r.Results {
+		if r.Results[i].Measurement != nil {
+			out = append(out, r.Results[i].Measurement)
+		}
+	}
+	return out
+}
+
+// Err returns the aggregated per-variant error of the run, or nil when
+// every completed variant succeeded.
+func (r *Result) Err() error {
+	var agg Error
+	for i := range r.Results {
+		if err := r.Results[i].Err; err != nil {
+			agg.Failed = append(agg.Failed, &VariantError{
+				Index: r.Results[i].Index,
+				Name:  r.Results[i].Name,
+				Err:   err,
+			})
+		}
+	}
+	if len(agg.Failed) == 0 {
+		return nil
+	}
+	agg.Total = r.Emitted
+	return &agg
+}
+
+// Run executes a full campaign over the XML kernel description: stream the
+// generated variants into a bounded queue, measure each over a worker pool
+// (consulting the cache first), and collect per-variant results in
+// generation order.
+//
+// The returned Result is always non-nil. The error is, in precedence
+// order: ctx.Err() when the caller canceled (partial results included);
+// the generation error when the pipeline failed; the aggregated *Error
+// when variants failed (with FailFast, the remainder was skipped); nil on
+// full success.
+func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Options) (*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 2 * workers
+	}
+	launch := opts.launch
+	if launch == nil {
+		launch = launcher.Launch
+	}
+	if opts.Tracer != nil && opts.Launch.Tracer == nil {
+		opts.Launch.Tracer = opts.Tracer
+	}
+
+	root := opts.Tracer.Start("campaign").
+		Str("machine", opts.Launch.MachineName).
+		Int("workers", int64(workers))
+	defer root.End()
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		index int
+		prog  codegen.Program
+	}
+	jobs := make(chan job, buffer)
+
+	var (
+		mu         sync.Mutex
+		results    []VariantResult
+		emitted    int
+		generating = true
+		hits       int
+		failed     int
+		launches   int
+	)
+	report := func() {
+		if opts.Progress == nil {
+			return
+		}
+		opts.Progress(Progress{
+			Done:       len(results),
+			Emitted:    emitted,
+			Generating: generating,
+			CacheHits:  hits,
+			Failed:     failed,
+		})
+	}
+
+	// Producer: stream programs out of the pass pipeline into the bounded
+	// queue. A full queue applies backpressure to generation; campaign
+	// cancellation (user or fail-fast) aborts the pipeline via cctx.
+	var genErr error
+	var producerWG sync.WaitGroup
+	producerWG.Add(1)
+	go func() {
+		defer producerWG.Done()
+		defer close(jobs)
+		index := 0
+		_, err := core.GenerateStream(cctx, xml, gen, func(p codegen.Program) error {
+			j := job{index: index, prog: p}
+			index++
+			mu.Lock()
+			emitted = index
+			mu.Unlock()
+			select {
+			case jobs <- j:
+				return nil
+			case <-cctx.Done():
+				return cctx.Err()
+			}
+		})
+		mu.Lock()
+		genErr = err
+		generating = false
+		mu.Unlock()
+	}()
+
+	record := func(r VariantResult) {
+		mu.Lock()
+		results = append(results, r)
+		if r.CacheHit {
+			hits++
+		}
+		if r.Err != nil {
+			failed++
+		}
+		report()
+		mu.Unlock()
+		if r.Err != nil {
+			opts.Counters.Inc("campaign.failures")
+			if opts.FailFast {
+				cancel()
+			}
+		}
+	}
+
+	measure := func(j job) {
+		sp := root.Child("variant").Str("kernel", j.prog.Name).Int("index", int64(j.index))
+		defer sp.End()
+		opts.Counters.Inc("campaign.variants")
+		kernel := j.prog.Parsed
+		if kernel == nil {
+			var err error
+			kernel, err = asm.ParseOne(j.prog.Assembly, j.prog.Name)
+			if err != nil {
+				sp.Str("error", err.Error())
+				record(VariantResult{Index: j.index, Name: j.prog.Name, Err: err})
+				return
+			}
+		}
+		var key string
+		if opts.Cache != nil {
+			k, err := Key(kernel, opts.Launch)
+			if err == nil {
+				key = k
+				if m, ok := opts.Cache.Get(key); ok {
+					sp.Child("cache.hit").End()
+					opts.Counters.Inc("campaign.cache.hits")
+					record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m, CacheHit: true})
+					return
+				}
+				sp.Child("cache.miss").End()
+				opts.Counters.Inc("campaign.cache.misses")
+			} else {
+				sp.Str("cache_key_error", err.Error())
+			}
+		}
+		opts.Counters.Inc("campaign.launches")
+		mu.Lock()
+		launches++
+		mu.Unlock()
+		m, err := launch(cctx, kernel, opts.Launch)
+		if err != nil {
+			// A variant interrupted by cancellation was not measured and is
+			// not a variant fault; the campaign-level ctx.Err() reports it.
+			if cctx.Err() != nil && errors.Is(err, cctx.Err()) {
+				return
+			}
+			sp.Str("error", err.Error())
+			record(VariantResult{Index: j.index, Name: j.prog.Name, Err: err})
+			return
+		}
+		if opts.Cache != nil && key != "" {
+			if canon, err := opts.Cache.Put(key, m); err == nil && canon != nil {
+				m = canon // adopt the store's canonical encoding (bit-identical warm hits)
+			}
+		}
+		record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m})
+	}
+
+	var poolWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for j := range jobs {
+				if cctx.Err() != nil {
+					continue // drain without measuring after cancellation
+				}
+				measure(j)
+			}
+		}()
+	}
+	poolWG.Wait()
+	producerWG.Wait()
+
+	mu.Lock()
+	res := &Result{
+		Results:   results,
+		Emitted:   emitted,
+		Launches:  launches,
+		CacheHits: hits,
+		Failures:  failed,
+	}
+	gerr := genErr
+	mu.Unlock()
+	sort.Slice(res.Results, func(a, b int) bool { return res.Results[a].Index < res.Results[b].Index })
+	root.Int("variants", int64(res.Emitted)).
+		Int("launches", int64(res.Launches)).
+		Int("cache_hits", int64(res.CacheHits)).
+		Int("failures", int64(res.Failures))
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if gerr != nil && !errors.Is(gerr, context.Canceled) {
+		return res, fmt.Errorf("campaign: generate: %w", gerr)
+	}
+	if err := res.Err(); err != nil {
+		return res, err
+	}
+	if res.Emitted == 0 {
+		return res, fmt.Errorf("campaign: the description generated no variants")
+	}
+	return res, nil
+}
+
+// RunFile is Run over an XML file on disk.
+func RunFile(ctx context.Context, path string, gen core.GenerateOptions, opts Options) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Run(ctx, f, gen, opts)
+}

@@ -1,0 +1,380 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"microtools/internal/core"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/obs"
+)
+
+// sweepSpec expands to four variants (unroll 1..4) of a simple streaming
+// load kernel.
+const sweepSpec = `
+<kernel name="campaign_k">
+  <instruction>
+    <operation>movss</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>4</max></register>
+  </instruction>
+  <unrolling><min>1</min><max>4</max></unrolling>
+  <induction><register><name>r1</name></register><increment>4</increment><offset>4</offset></induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <induction><register><phyName>%eax</phyName></register><increment>1</increment><not_affected_unroll/></induction>
+  <branch_information><label>.L0</label><test>jge</test></branch_information>
+</kernel>`
+
+func quickLaunch() launcher.Options {
+	opts := launcher.DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 1 << 12
+	opts.InnerReps = 1
+	opts.OuterReps = 1
+	opts.MaxInstructions = 5_000
+	return opts
+}
+
+func runSweep(t *testing.T, opts Options) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), strings.NewReader(sweepSpec), core.GenerateOptions{}, opts)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return res
+}
+
+func csvOf(t *testing.T, res *Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := launcher.WriteCSV(&buf, res.Measurements()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunMeasuresEveryVariant(t *testing.T) {
+	res := runSweep(t, Options{Launch: quickLaunch()})
+	if res.Emitted != 4 {
+		t.Fatalf("emitted %d variants, want 4", res.Emitted)
+	}
+	if len(res.Results) != 4 || res.Launches != 4 || res.Failures != 0 {
+		t.Fatalf("results=%d launches=%d failures=%d, want 4/4/0",
+			len(res.Results), res.Launches, res.Failures)
+	}
+	for i, r := range res.Results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d: not in generation order", i, r.Index)
+		}
+		if r.Measurement == nil || r.CacheHit {
+			t.Errorf("variant %s: measurement=%v cacheHit=%v", r.Name, r.Measurement, r.CacheHit)
+		}
+	}
+}
+
+func TestSerialParallelAndWarmRunsBitIdentical(t *testing.T) {
+	cache := NewMemoryCache()
+	serial := runSweep(t, Options{Launch: quickLaunch(), Workers: 1, Cache: cache})
+	parallel := runSweep(t, Options{Launch: quickLaunch(), Workers: 8})
+	warm := runSweep(t, Options{Launch: quickLaunch(), Workers: 8, Cache: cache})
+
+	serialCSV := csvOf(t, serial)
+	if parallelCSV := csvOf(t, parallel); parallelCSV != serialCSV {
+		t.Errorf("parallel run differs from serial:\n%s\nvs\n%s", parallelCSV, serialCSV)
+	}
+	if warmCSV := csvOf(t, warm); warmCSV != serialCSV {
+		t.Errorf("cache-warm run differs from serial:\n%s\nvs\n%s", warmCSV, serialCSV)
+	}
+	if warm.Launches != 0 || warm.CacheHits != 4 {
+		t.Errorf("warm run: %d launches, %d hits, want 0/4", warm.Launches, warm.CacheHits)
+	}
+}
+
+func TestWarmCachePerformsZeroLaunches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "measurements.jsonl")
+
+	cold, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCounters := obs.NewCounterSet()
+	coldRes := runSweep(t, Options{Launch: quickLaunch(), Cache: cold, Counters: coldCounters})
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := coldCounters.Get("campaign.launches"); got != 4 {
+		t.Fatalf("cold run: %d launches, want 4", got)
+	}
+	if got := coldCounters.Get("campaign.cache.misses"); got != 4 {
+		t.Fatalf("cold run: %d misses, want 4", got)
+	}
+
+	// Re-open the on-disk store: a fresh process resuming the campaign.
+	warm, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.Len() != 4 {
+		t.Fatalf("reloaded cache has %d entries, want 4", warm.Len())
+	}
+	warmCounters := obs.NewCounterSet()
+	warmRes := runSweep(t, Options{Launch: quickLaunch(), Cache: warm, Counters: warmCounters})
+	if got := warmCounters.Get("campaign.launches"); got != 0 {
+		t.Errorf("warm run performed %d launches, want 0", got)
+	}
+	if got := warmCounters.Get("campaign.cache.hits"); got != 4 {
+		t.Errorf("warm run: %d hits, want 4", got)
+	}
+	if warmCSV, coldCSV := csvOf(t, warmRes), csvOf(t, coldRes); warmCSV != coldCSV {
+		t.Errorf("warm CSV differs from cold:\n%s\nvs\n%s", warmCSV, coldCSV)
+	}
+}
+
+func TestCorruptedCacheDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "measurements.jsonl")
+
+	cold, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSweep(t, Options{Launch: quickLaunch(), Cache: cold})
+	cold.Close()
+
+	// Corrupt the store: truncate mid-line and append garbage — the torn
+	// write of a killed process.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data[:len(data)/2], []byte("{not json\nxx")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("corrupted cache must open, got %v", err)
+	}
+	defer warm.Close()
+	if warm.Len() >= 4 {
+		t.Fatalf("corrupted cache kept %d entries, want fewer than 4", warm.Len())
+	}
+	counters := obs.NewCounterSet()
+	res := runSweep(t, Options{Launch: quickLaunch(), Cache: warm, Counters: counters})
+	if res.Failures != 0 || len(res.Results) != 4 {
+		t.Fatalf("campaign over corrupted cache: %d results, %d failures", len(res.Results), res.Failures)
+	}
+	if hits, misses := counters.Get("campaign.cache.hits"), counters.Get("campaign.cache.misses"); hits+misses != 4 || misses == 0 {
+		t.Errorf("hits=%d misses=%d: corrupt entries must degrade to misses", hits, misses)
+	}
+}
+
+func TestCancellationReturnsPartialResultsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := Run(ctx, strings.NewReader(sweepSpec), core.GenerateOptions{}, Options{
+		Launch:  quickLaunch(),
+		Workers: 1,
+		launch: func(lctx context.Context, prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
+			// Cancel as the first variant finishes measuring: the campaign
+			// must stop within one variant and keep the finished result.
+			m, merr := launcher.Launch(lctx, prog, opts)
+			if merr == nil && m != nil {
+				cancel()
+			}
+			return m, merr
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled campaign must still return its partial results")
+	}
+	if len(res.Results) == 0 || len(res.Results) >= 4 {
+		t.Errorf("canceled campaign completed %d of 4 variants, want partial", len(res.Results))
+	}
+	for _, r := range res.Results {
+		if r.Err != nil {
+			t.Errorf("variant %s recorded spurious error %v after cancellation", r.Name, r.Err)
+		}
+	}
+}
+
+func TestFaultIsolationAggregatesFailures(t *testing.T) {
+	bang := errors.New("injected launch fault")
+	res, err := Run(context.Background(), strings.NewReader(sweepSpec), core.GenerateOptions{}, Options{
+		Launch:  quickLaunch(),
+		Workers: 2,
+		launch: func(ctx context.Context, prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
+			if strings.Contains(prog.Name, "_u2_") {
+				return nil, bang
+			}
+			return launcher.Launch(ctx, prog, opts)
+		},
+	})
+	if err == nil {
+		t.Fatal("campaign with a failing variant must return an error")
+	}
+	var agg *Error
+	if !errors.As(err, &agg) {
+		t.Fatalf("err %T is not *campaign.Error: %v", err, err)
+	}
+	if len(agg.Failed) != 1 || agg.Total != 4 {
+		t.Fatalf("aggregate lists %d/%d failures, want 1/4: %v", len(agg.Failed), agg.Total, err)
+	}
+	if !errors.Is(err, bang) {
+		t.Error("aggregate error does not unwrap to the injected fault")
+	}
+	if !strings.Contains(err.Error(), agg.Failed[0].Name) {
+		t.Errorf("aggregate error %q does not name the failed variant", err)
+	}
+	if got := len(res.Measurements()); got != 3 {
+		t.Errorf("fault isolation: %d measurements, want the 3 healthy variants", got)
+	}
+}
+
+func TestFailFastStopsEarly(t *testing.T) {
+	bang := errors.New("injected launch fault")
+	var mu sync.Mutex
+	launched := 0
+	res, err := Run(context.Background(), strings.NewReader(sweepSpec), core.GenerateOptions{}, Options{
+		Launch:   quickLaunch(),
+		Workers:  1,
+		FailFast: true,
+		launch: func(ctx context.Context, prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
+			mu.Lock()
+			launched++
+			mu.Unlock()
+			return nil, bang
+		},
+	})
+	if err == nil {
+		t.Fatal("fail-fast campaign must surface the fault")
+	}
+	if res.Failures != 1 {
+		t.Errorf("fail-fast recorded %d failures, want 1", res.Failures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if launched >= 4 {
+		t.Errorf("fail-fast still launched all %d variants", launched)
+	}
+}
+
+func TestKeyNormalizationAndSensitivity(t *testing.T) {
+	opts := quickLaunch()
+	prog, err := core.LoadKernel(kernelAsm("k", 1), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Formatting-only differences hash identically: the key is over the
+	// canonical re-print of the decoded program.
+	reparsed, err := core.LoadKernel(prog.Print(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := Key(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(reparsed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("canonicalized kernel hashes differently")
+	}
+	// A measurement-relevant option change must change the key.
+	changed := opts
+	changed.ArrayBytes *= 2
+	if k3, _ := Key(prog, changed); k3 == k1 {
+		t.Error("changing ArrayBytes did not change the key")
+	}
+	// The machine model is part of the key.
+	other := opts
+	other.MachineName = "sandybridge-dual/8"
+	if k4, _ := Key(prog, other); k4 == k1 {
+		t.Error("changing the machine did not change the key")
+	}
+	// Output plumbing must not be: a Verbose writer or tracer is not
+	// measurement-relevant.
+	noisy := opts
+	noisy.Verbose = os.Stderr
+	noisy.Tracer = obs.New()
+	if k5, _ := Key(prog, noisy); k5 != k1 {
+		t.Error("attaching Verbose/Tracer changed the key")
+	}
+	// A different kernel must miss.
+	prog2, err := core.LoadKernel(kernelAsm("k", 2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k6, _ := Key(prog2, opts); k6 == k1 {
+		t.Error("different kernels share a key")
+	}
+}
+
+// kernelAsm renders a minimal measurable kernel with `n` loads.
+func kernelAsm(name string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".globl %s\n%s:\n.L0:\n", name, name)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\tmovss %d(%%rdi), %%xmm0\n", 4*i)
+	}
+	b.WriteString("\taddl $1, %eax\n\tsubq $1, %rsi\n\tjge .L0\n\tret\n")
+	return b.String()
+}
+
+func TestRunFileAndEmptySpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.xml")
+	if err := os.WriteFile(path, []byte(sweepSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFile(context.Background(), path, core.GenerateOptions{}, Options{Launch: quickLaunch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted != 4 {
+		t.Errorf("RunFile emitted %d variants, want 4", res.Emitted)
+	}
+	if _, err := RunFile(context.Background(), filepath.Join(dir, "missing.xml"), core.GenerateOptions{}, Options{}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestTracerRecordsCampaignSpans(t *testing.T) {
+	tr := obs.New()
+	cache := NewMemoryCache()
+	runSweep(t, Options{Launch: quickLaunch(), Cache: cache, Tracer: tr})
+	runSweep(t, Options{Launch: quickLaunch(), Cache: cache, Tracer: tr})
+	names := map[string]int{}
+	for _, r := range tr.Records() {
+		names[r.Name]++
+	}
+	if names["campaign"] != 2 {
+		t.Errorf("%d campaign spans, want 2", names["campaign"])
+	}
+	if names["variant"] != 8 {
+		t.Errorf("%d variant spans, want 8", names["variant"])
+	}
+	if names["cache.miss"] != 4 || names["cache.hit"] != 4 {
+		t.Errorf("cache spans hit=%d miss=%d, want 4/4", names["cache.hit"], names["cache.miss"])
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -61,8 +62,36 @@ type GenerateOptions struct {
 	Diagnostics *verify.Diagnostics
 }
 
-// Generate runs MicroCreator over an XML kernel description.
-func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
+// Generate runs MicroCreator over an XML kernel description. The context
+// cancels the pipeline between passes (and between variants inside the
+// emit pass); a canceled run returns ctx.Err().
+func Generate(ctx context.Context, r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
+	pctx, err := generate(ctx, r, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return pctx.Programs, nil
+}
+
+// GenerateStream runs MicroCreator in streaming mode: each program is
+// handed to sink as soon as it is rendered (and verified, honouring
+// opts.Verify) instead of being materialized in a slice, so an N-variant
+// family never holds all rendered programs at once. It returns the number
+// of programs emitted. A sink error aborts the pipeline and is returned
+// verbatim.
+func GenerateStream(ctx context.Context, r io.Reader, opts GenerateOptions, sink func(codegen.Program) error) (int, error) {
+	n := 0
+	counted := func(p codegen.Program) error {
+		n++
+		return sink(p)
+	}
+	_, err := generate(ctx, r, opts, counted)
+	return n, err
+}
+
+// generate is the shared MicroCreator driver behind Generate and
+// GenerateStream; sink selects streaming mode.
+func generate(ctx context.Context, r io.Reader, opts GenerateOptions, sink func(codegen.Program) error) (*passes.Context, error) {
 	root := opts.Tracer.Start("generate")
 	defer root.End()
 	kernels, err := xmlspec.ParseTraced(r, root)
@@ -78,7 +107,8 @@ func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
 			return nil, fmt.Errorf("core: customize: %w", err)
 		}
 	}
-	ctx := &passes.Context{
+	pctx := &passes.Context{
+		Ctx:            ctx,
 		Seed:           opts.Seed,
 		EmitAssembly:   !opts.DisableAssembly,
 		EmitC:          opts.EmitC,
@@ -86,16 +116,17 @@ func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
 		Trace:          root,
 		VerifyMode:     opts.Verify,
 		VerifySuppress: opts.VerifySuppress,
+		Sink:           sink,
 	}
-	_, err = m.Run(ctx, kernels)
+	_, err = m.Run(pctx, kernels)
 	if opts.Diagnostics != nil {
-		*opts.Diagnostics = ctx.Diagnostics
+		*opts.Diagnostics = pctx.Diagnostics
 	}
 	if err != nil {
 		return nil, err
 	}
-	root.Int("programs", int64(len(ctx.Programs)))
-	return ctx.Programs, nil
+	root.Int("programs", int64(len(pctx.Programs)))
+	return pctx, nil
 }
 
 // Vet runs MicroCreator in collect-only verification mode: the full pipeline
@@ -103,11 +134,11 @@ func Generate(r io.Reader, opts GenerateOptions) ([]codegen.Program, error) {
 // failing generation. Pipeline errors upstream of the verifier (XML parse
 // failures, pass errors) are folded into the diagnostics as V000 findings, so
 // a vet run always yields a report; err is reserved for I/O-level failures.
-func Vet(r io.Reader, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
+func Vet(ctx context.Context, r io.Reader, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
 	opts.Verify = verify.ModeCollect
 	var ds verify.Diagnostics
 	opts.Diagnostics = &ds
-	progs, err := Generate(r, opts)
+	progs, err := Generate(ctx, r, opts)
 	if err != nil {
 		ds = append(ds, verify.Diagnostic{
 			Rule:     verify.RuleParse,
@@ -120,28 +151,28 @@ func Vet(r io.Reader, opts GenerateOptions) (verify.Diagnostics, []codegen.Progr
 }
 
 // VetFile is Vet over a file.
-func VetFile(path string, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
+func VetFile(ctx context.Context, path string, opts GenerateOptions) (verify.Diagnostics, []codegen.Program, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	return Vet(f, opts)
+	return Vet(ctx, f, opts)
 }
 
 // GenerateString is Generate over a string.
-func GenerateString(xml string, opts GenerateOptions) ([]codegen.Program, error) {
-	return Generate(strings.NewReader(xml), opts)
+func GenerateString(ctx context.Context, xml string, opts GenerateOptions) ([]codegen.Program, error) {
+	return Generate(ctx, strings.NewReader(xml), opts)
 }
 
 // GenerateFile is Generate over a file.
-func GenerateFile(path string, opts GenerateOptions) ([]codegen.Program, error) {
+func GenerateFile(ctx context.Context, path string, opts GenerateOptions) ([]codegen.Program, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Generate(f, opts)
+	return Generate(ctx, f, opts)
 }
 
 // WritePrograms writes generated programs into a directory, one .s (and
@@ -208,6 +239,21 @@ func LoadKernel(src, functionName string) (*isa.Program, error) {
 	return nil, fmt.Errorf("core: no function %q in input", functionName)
 }
 
+// LoadKernels parses a kernel source and returns every function it holds,
+// in source order — the multi-function path of the launcher's input
+// handling (a generated family often lands in one file; microlauncher
+// -workers measures all of them over a pool).
+func LoadKernels(src string) ([]*isa.Program, error) {
+	if looksLikeC(src) {
+		extracted, err := extractInlineAsm(src)
+		if err != nil {
+			return nil, err
+		}
+		src = extracted
+	}
+	return asm.ParseString(src, "kernel")
+}
+
 // LoadKernelFile is LoadKernel over a file.
 func LoadKernelFile(path, functionName string) (*isa.Program, error) {
 	data, err := os.ReadFile(path)
@@ -218,40 +264,92 @@ func LoadKernelFile(path, functionName string) (*isa.Program, error) {
 }
 
 // Launch measures a kernel program with MicroLauncher.
-func Launch(prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
-	return launcher.Launch(prog, opts)
+func Launch(ctx context.Context, prog *isa.Program, opts launcher.Options) (*launcher.Measurement, error) {
+	return launcher.Launch(ctx, prog, opts)
+}
+
+// VariantError records one variant's launch failure inside a campaign.
+type VariantError struct {
+	// Index is the variant's position in generation order.
+	Index int
+	// Name is the variant's kernel name.
+	Name string
+	// Err is the underlying launch error.
+	Err error
+}
+
+func (e *VariantError) Error() string {
+	return fmt.Sprintf("variant %s (#%d): %v", e.Name, e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *VariantError) Unwrap() error { return e.Err }
+
+// LaunchErrors aggregates every per-variant failure of a campaign: a
+// single failing variant no longer discards the completed measurements —
+// callers receive the partial result set plus one error naming every
+// failed variant.
+type LaunchErrors struct {
+	// Failed lists the failed variants in generation order.
+	Failed []*VariantError
+	// Total is the campaign's variant count.
+	Total int
+}
+
+func (e *LaunchErrors) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d of %d variants failed:", len(e.Failed), e.Total)
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, "\n  %s: %v", f.Name, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-variant errors to errors.Is/As.
+func (e *LaunchErrors) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
 }
 
 // Run chains the tools: generate all variants from the XML description and
 // launch each one, returning the measurements in generation order — the
 // paper's end-to-end automated workflow.
-func Run(xml io.Reader, gen GenerateOptions, launch launcher.Options) ([]*launcher.Measurement, error) {
-	return RunParallel(xml, gen, launch, 1)
+func Run(ctx context.Context, xml io.Reader, gen GenerateOptions, launch launcher.Options) ([]*launcher.Measurement, error) {
+	return RunParallel(ctx, xml, gen, launch, 1)
 }
 
 // RunParallel is Run with the launches fanned out over a worker pool.
 // Every variant runs on its own simulated machine, so the measurements are
 // independent and bit-identical to a serial run; only wall-clock time
 // changes. workers <= 0 uses GOMAXPROCS.
-func RunParallel(xml io.Reader, gen GenerateOptions, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
-	progs, err := Generate(xml, gen)
+func RunParallel(ctx context.Context, xml io.Reader, gen GenerateOptions, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
+	progs, err := Generate(ctx, xml, gen)
 	if err != nil {
 		return nil, err
 	}
-	return LaunchAll(progs, launch, workers)
+	return LaunchAll(ctx, progs, launch, workers)
 }
 
 // LaunchAll measures every generated program over a worker pool (see
 // RunParallel), returning measurements in program order.
-func LaunchAll(progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
-	return LaunchAllProgress(progs, launch, workers, nil)
+func LaunchAll(ctx context.Context, progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
+	return LaunchAllProgress(ctx, progs, launch, workers, nil)
 }
 
 // LaunchAllProgress is LaunchAll with a campaign-progress callback:
 // onDone(done, total) fires after each variant finishes (from whichever
 // worker goroutine finished it; done counts completions, not program
 // order). nil disables the callback.
-func LaunchAllProgress(progs []codegen.Program, launch launcher.Options, workers int, onDone func(done, total int)) ([]*launcher.Measurement, error) {
+//
+// Faults are isolated per variant: a failing variant leaves a nil slot in
+// the returned slice while every other variant still gets measured, and
+// the error aggregates all failures as a *LaunchErrors. Canceling the
+// context stops the pool within one variant and returns the partial
+// measurements alongside ctx.Err().
+func LaunchAllProgress(ctx context.Context, progs []codegen.Program, launch launcher.Options, workers int, onDone func(done, total int)) ([]*launcher.Measurement, error) {
 	if len(progs) == 0 {
 		return nil, fmt.Errorf("core: no programs to launch")
 	}
@@ -268,11 +366,25 @@ func LaunchAllProgress(progs []codegen.Program, launch launcher.Options, workers
 			onDone(int(atomic.AddInt64(&done, 1)), total)
 		}
 	}
+	canceled := func() bool {
+		if ctx == nil {
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 	out := make([]*launcher.Measurement, len(progs))
 	errs := make([]error, len(progs))
 	if workers <= 1 {
 		for i := range progs {
-			out[i], errs[i] = launchOne(&progs[i], launch)
+			if canceled() {
+				break
+			}
+			out[i], errs[i] = launchOne(ctx, &progs[i], launch)
 			report()
 		}
 	} else {
@@ -283,26 +395,49 @@ func LaunchAllProgress(progs []codegen.Program, launch launcher.Options, workers
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = launchOne(&progs[i], launch)
+					if canceled() {
+						continue
+					}
+					out[i], errs[i] = launchOne(ctx, &progs[i], launch)
 					report()
 				}
 			}()
 		}
+	feed:
 		for i := range progs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctxDone(ctx):
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	agg := &LaunchErrors{Total: total}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: launching %s: %w", progs[i].Name, err)
+			agg.Failed = append(agg.Failed, &VariantError{Index: i, Name: progs[i].Name, Err: err})
 		}
+	}
+	if len(agg.Failed) > 0 {
+		return out, agg
 	}
 	return out, nil
 }
 
-func launchOne(p *codegen.Program, opts launcher.Options) (*launcher.Measurement, error) {
+// ctxDone returns ctx's done channel, or a never-closing one for a nil ctx.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+func launchOne(ctx context.Context, p *codegen.Program, opts launcher.Options) (*launcher.Measurement, error) {
 	kernel := p.Parsed // decoded by the verify-variants pass; reuse when cached
 	if kernel == nil {
 		var err error
@@ -311,7 +446,7 @@ func launchOne(p *codegen.Program, opts launcher.Options) (*launcher.Measurement
 			return nil, err
 		}
 	}
-	return launcher.Launch(kernel, opts)
+	return launcher.Launch(ctx, kernel, opts)
 }
 
 // GeneratedProgram aliases the generator output type for CLI consumers.
@@ -392,8 +527,9 @@ func residencyLevel(m *machine.Machine, arrayBytes int64) string {
 // ones, by estimated cycles per element. MicroCreator can generate
 // thousands of variants; screening keeps full event-driven measurement
 // budgets for the contenders. accessWidth is the kernel's element width in
-// bytes (used for bandwidth bounds).
-func ScreenTopK(progs []codegen.Program, machineName string, arrayBytes int64, accessWidth, k int) ([]codegen.Program, error) {
+// bytes (used for bandwidth bounds). The context cancels the screening
+// loop between variants.
+func ScreenTopK(ctx context.Context, progs []codegen.Program, machineName string, arrayBytes int64, accessWidth, k int) ([]codegen.Program, error) {
 	if k <= 0 || k >= len(progs) {
 		return progs, nil
 	}
@@ -411,6 +547,11 @@ func ScreenTopK(progs []codegen.Program, machineName string, arrayBytes int64, a
 	}
 	scores := make([]scored, 0, len(progs))
 	for i := range progs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
 		if err != nil {
 			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)

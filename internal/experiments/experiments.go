@@ -11,9 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"microtools/internal/stats"
 )
@@ -25,6 +28,83 @@ type Config struct {
 	Quick bool
 	// Verbose receives progress lines when non-nil.
 	Verbose io.Writer
+	// Workers fans independent launches inside a sweep out over a worker
+	// pool (0 = GOMAXPROCS, 1 = serial). Every launch runs on its own
+	// simulated machine and results are collected by sweep index, so
+	// tables are bit-identical to a serial run.
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every sweep index over the configured worker
+// pool, collecting errors per index; the first (lowest-index) error is
+// returned, keeping failure reporting deterministic regardless of worker
+// interleaving. Cancellation stops the sweep between points.
+func (c Config) forEach(ctx context.Context, n int, fn func(i int) error) error {
+	workers := c.workers()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errs[i] = fn(i); errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx != nil && ctx.Err() != nil {
+					continue
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctxDone(ctx):
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctxDone returns ctx's done channel, or nil (never ready) for a nil ctx.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -43,7 +123,7 @@ type Experiment struct {
 	Paper string
 	// Machine names the Table 1 platform used (scaled variant).
 	Machine string
-	Run     func(Config) (*stats.Table, error)
+	Run     func(context.Context, Config) (*stats.Table, error)
 }
 
 var registry []*Experiment

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func quickRun(t *testing.T, id string) (ex *Experiment, table *TableAlias) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run(Config{Quick: true})
+	tab, err := e.Run(context.Background(), Config{Quick: true})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

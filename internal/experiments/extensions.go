@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/launcher"
@@ -70,7 +71,7 @@ func strideSpec(strides []int64) string {
 </kernel>`, list)
 }
 
-func runExtStride(cfg Config) (*stats.Table, error) {
+func runExtStride(ctx context.Context, cfg Config) (*stats.Table, error) {
 	strides := []int64{4, 16, 64, 128, 256, 1024}
 	if cfg.Quick {
 		strides = []int64{4, 64, 256}
@@ -79,12 +80,12 @@ func runExtStride(cfg Config) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &passes.Context{EmitAssembly: true}
-	if _, err := passes.NewManager().Run(ctx, ks); err != nil {
+	pctx := &passes.Context{Ctx: ctx, EmitAssembly: true}
+	if _, err := passes.NewManager().Run(pctx, ks); err != nil {
 		return nil, err
 	}
-	if len(ctx.Programs) != len(strides) {
-		return nil, fmt.Errorf("ext-stride: %d variants for %d strides", len(ctx.Programs), len(strides))
+	if len(pctx.Programs) != len(strides) {
+		return nil, fmt.Errorf("ext-stride: %d variants for %d strides", len(pctx.Programs), len(strides))
 	}
 	desc, err := machine.ByName(seqMachine)
 	if err != nil {
@@ -96,7 +97,7 @@ func runExtStride(cfg Config) (*stats.Table, error) {
 		YLabel: "cycles/access",
 	}
 	series := t.AddSeries("cycles/access")
-	for i, prog := range ctx.Programs {
+	for i, prog := range pctx.Programs {
 		p, err := decoded(prog)
 		if err != nil {
 			return nil, err
@@ -116,7 +117,7 @@ func runExtStride(cfg Config) (*stats.Table, error) {
 			opts.OuterReps = 1
 			opts.MaxInstructions = 40_000
 		}
-		m, err := launcher.Launch(p, opts)
+		m, err := launcher.Launch(ctx, p, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ext-stride %d: %w", stride, err)
 		}
@@ -160,7 +161,7 @@ func arithSpec(maxArith int) string {
 </kernel>`, maxArith)
 }
 
-func runExtArith(cfg Config) (*stats.Table, error) {
+func runExtArith(ctx context.Context, cfg Config) (*stats.Table, error) {
 	maxArith := 12
 	if cfg.Quick {
 		maxArith = 8
@@ -169,8 +170,8 @@ func runExtArith(cfg Config) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &passes.Context{EmitAssembly: true}
-	if _, err := passes.NewManager().Run(ctx, ks); err != nil {
+	pctx := &passes.Context{Ctx: ctx, EmitAssembly: true}
+	if _, err := passes.NewManager().Run(pctx, ks); err != nil {
 		return nil, err
 	}
 	desc, err := machine.ByName(seqMachine)
@@ -183,7 +184,7 @@ func runExtArith(cfg Config) (*stats.Table, error) {
 		YLabel: "cycles/iteration",
 	}
 	series := t.AddSeries("RAM-resident")
-	for _, prog := range ctx.Programs {
+	for _, prog := range pctx.Programs {
 		p, err := decoded(prog)
 		if err != nil {
 			return nil, err
@@ -199,7 +200,7 @@ func runExtArith(cfg Config) (*stats.Table, error) {
 			opts.OuterReps = 1
 			opts.MaxInstructions = 40_000
 		}
-		m, err := launcher.Launch(p, opts)
+		m, err := launcher.Launch(ctx, p, opts)
 		if err != nil {
 			return nil, fmt.Errorf("ext-arith %d: %w", arith, err)
 		}
@@ -209,7 +210,7 @@ func runExtArith(cfg Config) (*stats.Table, error) {
 	return t, nil
 }
 
-func runExtPower(cfg Config) (*stats.Table, error) {
+func runExtPower(ctx context.Context, cfg Config) (*stats.Table, error) {
 	desc, err := machine.ByName(seqMachine)
 	if err != nil {
 		return nil, err
@@ -248,7 +249,7 @@ func runExtPower(cfg Config) (*stats.Table, error) {
 			if cfg.Quick {
 				opts.MaxInstructions = 60_000
 			}
-			m, err := launcher.Launch(prog, opts)
+			m, err := launcher.Launch(ctx, prog, opts)
 			if err != nil {
 				return nil, fmt.Errorf("ext-power %s %.2f: %w", level.name, f, err)
 			}

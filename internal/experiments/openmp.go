@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/launcher"
@@ -33,8 +34,8 @@ func init() {
 		Title:   "OpenMP vs sequential, movss loads, cache-resident array (128k elements scaled)",
 		Paper:   "log scale; the OpenMP version is consistently faster; unrolling helps the sequential version but barely moves the OpenMP one (parallel setup overhead); the cache-resident array yields the bigger OpenMP gain",
 		Machine: ompMachine,
-		Run: func(cfg Config) (*stats.Table, error) {
-			return runOpenMPFigure(cfg, "fig17", smallElems)
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
+			return runOpenMPFigure(ctx, cfg, "fig17", smallElems)
 		},
 	})
 	register(&Experiment{
@@ -42,12 +43,12 @@ func init() {
 		Title:   "OpenMP vs sequential, movss loads, RAM-resident array (6M elements scaled)",
 		Paper:   "same protocol on the RAM-resident array: the OpenMP gain shrinks (shared memory bandwidth bounds the team)",
 		Machine: ompMachine,
-		Run: func(cfg Config) (*stats.Table, error) {
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
 			elems := int64(largeElems)
 			if cfg.Quick {
 				elems = largeElemsQuick
 			}
-			return runOpenMPFigure(cfg, "fig18", elems)
+			return runOpenMPFigure(ctx, cfg, "fig18", elems)
 		},
 	})
 	register(&Experiment{
@@ -77,7 +78,7 @@ func ompBaseOptions(elems int64, quick bool) launcher.Options {
 	return opts
 }
 
-func runOpenMPFigure(cfg Config, id string, elems int64) (*stats.Table, error) {
+func runOpenMPFigure(ctx context.Context, cfg Config, id string, elems int64) (*stats.Table, error) {
 	unrolls := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if cfg.Quick {
 		unrolls = []int{1, 2, 4, 8}
@@ -109,7 +110,7 @@ func runOpenMPFigure(cfg Config, id string, elems int64) (*stats.Table, error) {
 			opts.MaxInstructions = 0
 			opts.InnerReps = 2
 		}
-		m, err := launcher.Launch(prog, opts)
+		m, err := launcher.Launch(ctx, prog, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s seq u=%d: %w", id, u, err)
 		}
@@ -122,7 +123,7 @@ func runOpenMPFigure(cfg Config, id string, elems int64) (*stats.Table, error) {
 		po.Cores = 4
 		// OpenMP runs split the trip across threads; do not truncate the
 		// (already 4x shorter) chunks as aggressively.
-		pm, err := launcher.Launch(prog, po)
+		pm, err := launcher.Launch(ctx, prog, po)
 		if err != nil {
 			return nil, fmt.Errorf("%s omp u=%d: %w", id, u, err)
 		}
@@ -138,7 +139,7 @@ func runOpenMPFigure(cfg Config, id string, elems int64) (*stats.Table, error) {
 // repetition count that produced its 9-18s run times.
 const tab02Calls = 4000
 
-func runTab02(cfg Config) (*stats.Table, error) {
+func runTab02(ctx context.Context, cfg Config) (*stats.Table, error) {
 	unrolls := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if cfg.Quick {
 		unrolls = []int{1, 4, 8}
@@ -176,7 +177,7 @@ func runTab02(cfg Config) (*stats.Table, error) {
 			return m.Value * float64(largeElems) / coveredElems * tab02Calls
 		}
 
-		m, err := launcher.Launch(prog, opts)
+		m, err := launcher.Launch(ctx, prog, opts)
 		if err != nil {
 			return nil, fmt.Errorf("tab02 seq u=%d: %w", u, err)
 		}
@@ -185,7 +186,7 @@ func runTab02(cfg Config) (*stats.Table, error) {
 		po := opts
 		po.Mode = launcher.OpenMP
 		po.Cores = 4
-		pm, err := launcher.Launch(prog, po)
+		pm, err := launcher.Launch(ctx, prog, po)
 		if err != nil {
 			return nil, fmt.Errorf("tab02 omp u=%d: %w", u, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/launcher"
@@ -21,18 +22,22 @@ func init() {
 		Title:   "Alignment sweep, 8 cores of the 32-core machine, 4-array movss traversal",
 		Paper:   "cycles/iteration vary substantially (20-33 on the real machine) across alignment configurations",
 		Machine: "nehalem-quad/8",
-		Run:     func(cfg Config) (*stats.Table, error) { return runAlignmentSweep(cfg, 8, "fig15") },
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
+			return runAlignmentSweep(ctx, cfg, 8, "fig15")
+		},
 	})
 	register(&Experiment{
 		ID:      "fig16",
 		Title:   "Alignment sweep, 32-core execution, 4-array movss traversal",
 		Paper:   "with all 32 cores the variation band moves up (60-90 cycles/iteration on the real machine): memory saturation amplifies alignment effects",
 		Machine: "nehalem-quad/8",
-		Run:     func(cfg Config) (*stats.Table, error) { return runAlignmentSweep(cfg, 32, "fig16") },
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
+			return runAlignmentSweep(ctx, cfg, 32, "fig16")
+		},
 	})
 }
 
-func runFig14(cfg Config) (*stats.Table, error) {
+func runFig14(ctx context.Context, cfg Config) (*stats.Table, error) {
 	const machineName = "nehalem-dual/8"
 	desc, err := machine.ByName(machineName)
 	if err != nil {
@@ -67,7 +72,7 @@ func runFig14(cfg Config) (*stats.Table, error) {
 				opts.OuterReps = 1
 				opts.MaxInstructions = 50_000
 			}
-			m, err := launcher.Launch(prog, opts)
+			m, err := launcher.Launch(ctx, prog, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig14 %s cores=%d: %w", op, n, err)
 			}
@@ -81,7 +86,7 @@ func runFig14(cfg Config) (*stats.Table, error) {
 // runAlignmentSweep implements Figs. 15/16: each X point is one alignment
 // configuration of the four arrays; Y is the average cycles/iteration of
 // the forked traversal.
-func runAlignmentSweep(cfg Config, cores int, id string) (*stats.Table, error) {
+func runAlignmentSweep(ctx context.Context, cfg Config, cores int, id string) (*stats.Table, error) {
 	const machineName = "nehalem-quad/8"
 	desc, err := machine.ByName(machineName)
 	if err != nil {
@@ -105,9 +110,13 @@ func runAlignmentSweep(cfg Config, cores int, id string) (*stats.Table, error) {
 	// offsets per array (the paper sweeps "upwards of 2500" such
 	// configurations). The product includes configurations where a store
 	// stream lands on a load stream's page offset — the 4K-aliasing cases
-	// that make alignment matter.
+	// that make alignment matter. Each configuration is an independent
+	// launch on its own simulated machine, so the sweep fans out over
+	// cfg.Workers; values are collected by index to keep the table
+	// bit-identical to a serial run.
 	offsets := []int64{0, 128, 1024, 2112}
-	for i := 0; i < nConfigs; i++ {
+	values := make([]float64, nConfigs)
+	err = cfg.forEach(ctx, nConfigs, func(i int) error {
 		align := []int64{
 			offsets[i%4],
 			offsets[(i/4)%4],
@@ -126,11 +135,18 @@ func runAlignmentSweep(cfg Config, cores int, id string) (*stats.Table, error) {
 		if cfg.Quick {
 			opts.MaxInstructions = 25_000
 		}
-		m, err := launcher.Launch(prog, opts)
+		m, err := launcher.Launch(ctx, prog, opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s config %d: %w", id, i, err)
+			return fmt.Errorf("%s config %d: %w", id, i, err)
 		}
-		series.Add(float64(i), m.Value)
+		values[i] = m.Value
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range values {
+		series.Add(float64(i), v)
 	}
 	cfg.logf("%s: %d cores, %.1f-%.1f cycles/iter across %d configs",
 		id, cores, series.MinY(), series.MaxY(), nConfigs)

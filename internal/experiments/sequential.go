@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/launcher"
@@ -40,14 +41,18 @@ func init() {
 		Title:   "movaps loads/stores: cycles per instruction vs unroll factor per hierarchy level",
 		Paper:   "510 generated variants; per unroll group the minimum is taken; higher hierarchy levels cost more per access; unrolling is advantageous; vectorized RAM accesses pay more per instruction than scalar ones",
 		Machine: seqMachine,
-		Run:     func(cfg Config) (*stats.Table, error) { return runUnrollHierarchy(cfg, "movaps") },
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
+			return runUnrollHierarchy(ctx, cfg, "movaps")
+		},
 	})
 	register(&Experiment{
 		ID:      "fig12",
 		Title:   "movss loads/stores: cycles per instruction vs unroll factor per hierarchy level",
 		Paper:   "same protocol with the 4-byte scalar move: per-instruction costs beyond L1 are lower than movaps because each instruction moves a quarter of the data",
 		Machine: seqMachine,
-		Run:     func(cfg Config) (*stats.Table, error) { return runUnrollHierarchy(cfg, "movss") },
+		Run: func(ctx context.Context, cfg Config) (*stats.Table, error) {
+			return runUnrollHierarchy(ctx, cfg, "movss")
+		},
 	})
 	register(&Experiment{
 		ID:      "fig13",
@@ -60,7 +65,7 @@ func init() {
 
 // runUnrollHierarchy implements Figs. 11/12: unroll 1..8 × 4 levels, the
 // minimum over the generated load/store patterns per group.
-func runUnrollHierarchy(cfg Config, op string) (*stats.Table, error) {
+func runUnrollHierarchy(ctx context.Context, cfg Config, op string) (*stats.Table, error) {
 	maxU := 8
 	unrolls := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if cfg.Quick {
@@ -107,7 +112,7 @@ func runUnrollHierarchy(cfg Config, op string) (*stats.Table, error) {
 					opts.InnerReps = 1
 					opts.OuterReps = 1
 				}
-				m, err := launcher.Launch(prog, opts)
+				m, err := launcher.Launch(ctx, prog, opts)
 				if err != nil {
 					return nil, fmt.Errorf("%s u=%d %s %s: %w", op, u, pat, level.Name, err)
 				}
@@ -123,7 +128,7 @@ func runUnrollHierarchy(cfg Config, op string) (*stats.Table, error) {
 	return t, nil
 }
 
-func runFig13(cfg Config) (*stats.Table, error) {
+func runFig13(ctx context.Context, cfg Config) (*stats.Table, error) {
 	desc, err := machine.ByName(seqMachine)
 	if err != nil {
 		return nil, err
@@ -164,7 +169,7 @@ func runFig13(cfg Config) (*stats.Table, error) {
 				opts.InnerReps = 1
 				opts.OuterReps = 1
 			}
-			m, err := launcher.Launch(prog, opts)
+			m, err := launcher.Launch(ctx, prog, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s %.2fGHz: %w", level.Name, f, err)
 			}

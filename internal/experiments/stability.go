@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/launcher"
@@ -19,7 +20,7 @@ func init() {
 
 // runStability measures the coefficient of variation of cycles/iteration
 // across independent launcher invocations under four protocol settings.
-func runStability(cfg Config) (*stats.Table, error) {
+func runStability(ctx context.Context, cfg Config) (*stats.Table, error) {
 	prog, err := loadOnlyKernel("movaps", 4)
 	if err != nil {
 		return nil, err
@@ -49,8 +50,11 @@ func runStability(cfg Config) (*stats.Table, error) {
 	}
 	for si, st := range settings {
 		series := t.AddSeries(st.name)
-		var values []float64
-		for r := 0; r < runs; r++ {
+		// The independent repeated runs fan out over cfg.Workers; values
+		// land by run index, so the CV matches a serial sweep exactly.
+		values := make([]float64, runs)
+		st := st
+		err := cfg.forEach(ctx, runs, func(r int) error {
 			opts := launcher.DefaultOptions()
 			opts.MachineName = seqMachine
 			opts.ArrayBytes = 256 << 10
@@ -65,11 +69,15 @@ func runStability(cfg Config) (*stats.Table, error) {
 			if cfg.Quick {
 				opts.MaxInstructions = 250_000
 			}
-			m, err := launcher.Launch(prog, opts)
+			m, err := launcher.Launch(ctx, prog, opts)
 			if err != nil {
-				return nil, fmt.Errorf("stability %q run %d: %w", st.name, r, err)
+				return fmt.Errorf("stability %q run %d: %w", st.name, r, err)
 			}
-			values = append(values, m.Value)
+			values[r] = m.Value
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		sum := stats.Summarize(values)
 		series.Add(float64(si), 100*sum.CV())

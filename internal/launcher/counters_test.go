@@ -1,6 +1,7 @@
 package launcher
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,7 +48,7 @@ func launchCounters(t *testing.T, src string, mutate func(*Options)) *Measuremen
 	if mutate != nil {
 		mutate(&opts)
 	}
-	m, err := Launch(prog, opts)
+	m, err := Launch(context.Background(), prog, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,13 +251,13 @@ func TestUntracedMachineLeavesNoSpans(t *testing.T) {
 	opts.InnerReps = 1
 	opts.OuterReps = 1
 	opts.Tracer = tr
-	if _, err := Launch(prog, opts); err != nil {
+	if _, err := Launch(context.Background(), prog, opts); err != nil {
 		t.Fatal(err)
 	}
 	n := len(tr.Records())
 	// Second launch on the same tracer-less options must add nothing.
 	opts.Tracer = nil
-	if _, err := Launch(prog, opts); err != nil {
+	if _, err := Launch(context.Background(), prog, opts); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(tr.Records()); got != n {

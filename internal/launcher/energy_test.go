@@ -1,6 +1,7 @@
 package launcher
 
 import (
+	"context"
 	"testing"
 
 	"microtools/internal/asm"
@@ -29,7 +30,7 @@ ret`
 		opts.InnerReps = 1
 		opts.OuterReps = 2
 		opts.ReportEnergy = true
-		m, err := Launch(prog, opts)
+		m, err := Launch(context.Background(), prog, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package launcher
 
 import (
+	"context"
 	"fmt"
 
 	"microtools/internal/cpu"
@@ -114,8 +115,19 @@ func pinOrder(m *machine.Machine, n int, spread bool) ([]int, error) {
 	return out, nil
 }
 
-// Launch measures one kernel program under the given options.
-func Launch(prog *isa.Program, opts Options) (*Measurement, error) {
+// ctxErr reports ctx's cancellation state; a nil ctx never cancels (the
+// non-cancellable legacy path — library callers should thread a real one).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Launch measures one kernel program under the given options. The context
+// cancels the protocol between repetitions: a canceled launch returns
+// ctx.Err() without a measurement.
+func Launch(ctx context.Context, prog *isa.Program, opts Options) (*Measurement, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,12 +147,12 @@ func Launch(prog *isa.Program, opts Options) (*Measurement, error) {
 	if !opts.DisableInterrupts {
 		mach.SetNoise(sim.DefaultNoise(opts.NoiseSeed))
 	}
-	return launchOn(mach, prog, opts)
+	return launchOn(ctx, mach, prog, opts)
 }
 
 // launchOn runs the protocol against an existing machine instance (exposed
 // for the experiment harness, which reuses machines across sweeps).
-func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
+func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
 	desc := mach.Desc
 	logf := func(format string, args ...any) {
 		if opts.Verbose != nil {
@@ -294,6 +306,10 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 	var pipe obs.Counters // pipeline-counter aggregate over measured jobs
 
 	for rep := 0; rep < opts.OuterReps; rep++ {
+		if err := ctxErr(ctx); err != nil {
+			msp.Str("error", err.Error()).End()
+			return nil, err
+		}
 		rsp := msp.Child("rep").Int("rep", int64(rep))
 		repStart := mach.Now()
 		mach.SetTraceSpan(rsp)
@@ -303,6 +319,9 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 		case Sequential, Fork:
 			var total float64
 			for inner := 0; inner < opts.InnerReps; inner++ {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
 				jobs := make([]sim.Job, len(pins))
 				for i, core := range pins {
 					jobs[i] = sim.Job{
@@ -352,6 +371,9 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 			}
 			var total float64
 			for inner := 0; inner < opts.InnerReps; inner++ {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
 				sub := cfg
 				if inner > 0 {
 					// The thread team persists across repetitions (as
@@ -445,9 +467,9 @@ func launchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement,
 // LaunchOn runs the protocol on a caller-provided machine (for sweeps that
 // must share or control machine state). The machine's noise/frequency
 // settings are respected; opts.MachineName is ignored.
-func LaunchOn(mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
+func LaunchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Options) (*Measurement, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return launchOn(mach, prog, opts)
+	return launchOn(ctx, mach, prog, opts)
 }

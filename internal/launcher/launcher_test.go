@@ -2,6 +2,7 @@ package launcher
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func defaultTestOptions() Options {
 
 func TestSequentialMeasurement(t *testing.T) {
 	p := parse(t, kernelSrc(8, "movaps", 16), "k8")
-	m, err := Launch(p, defaultTestOptions())
+	m, err := Launch(context.Background(), p, defaultTestOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestStabilityOfProtocol(t *testing.T) {
 	p := parse(t, kernelSrc(4, "movaps", 16), "k")
 	stable := defaultTestOptions()
 	stable.OuterReps = 5
-	m1, err := Launch(p, stable)
+	m1, err := Launch(context.Background(), p, stable)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestStabilityOfProtocol(t *testing.T) {
 	noisy.DisableInterrupts = false
 	noisy.Warmup = false
 	noisy.NoiseSeed = 99
-	m2, err := Launch(p, noisy)
+	m2, err := Launch(context.Background(), p, noisy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestUnrollSweepShape(t *testing.T) {
 	perLoad := map[int]float64{}
 	for _, u := range []int{1, 8} {
 		p := parse(t, kernelSrc(u, "movaps", 16), fmt.Sprintf("k%d", u))
-		m, err := Launch(p, opts)
+		m, err := Launch(context.Background(), p, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestForkModeScalesAndContends(t *testing.T) {
 	run := func(cores int) float64 {
 		opts.Cores = cores
 		p := parse(t, kernelSrc(8, "movaps", 16), "k")
-		m, err := Launch(p, opts)
+		m, err := Launch(context.Background(), p, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,14 +147,14 @@ func TestOpenMPModeBeatsSequentialOnLargeArrays(t *testing.T) {
 	opts.InnerReps = 1
 	opts.OuterReps = 2
 	p := parse(t, kernelSrc(4, "movss", 4), "k")
-	seq, err := Launch(p, opts)
+	seq, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	omp := opts
 	omp.Mode = OpenMP
 	omp.Cores = 4
-	pm, err := Launch(p, omp)
+	pm, err := Launch(context.Background(), p, omp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestAlignmentChangesAllocation(t *testing.T) {
 	opts := defaultTestOptions()
 	opts.Alignments = []int64{64}
 	p := parse(t, kernelSrc(1, "movss", 4), "k")
-	m, err := Launch(p, opts)
+	m, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestPerIterationRequiresEaxCounter(t *testing.T) {
 	src := ".L0:\nmovss (%rsi), %xmm0\nadd $4, %rsi\nsub $1, %rdi\njge .L0\nret\n"
 	p := parse(t, src, "nocounter")
 	opts := defaultTestOptions()
-	if _, err := Launch(p, opts); err == nil {
+	if _, err := Launch(context.Background(), p, opts); err == nil {
 		t.Error("expected an error for a kernel without the eax protocol")
 	}
 	opts.PerIteration = false
-	if _, err := Launch(p, opts); err != nil {
+	if _, err := Launch(context.Background(), p, opts); err != nil {
 		t.Errorf("whole-call mode should work without the counter: %v", err)
 	}
 }
@@ -201,12 +202,12 @@ func TestTimeUnits(t *testing.T) {
 	p := parse(t, kernelSrc(2, "movaps", 16), "k")
 	opts := defaultTestOptions()
 	opts.TimeUnit = UnitCoreCycles
-	core, err := Launch(p, opts)
+	core, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.TimeUnit = UnitSeconds
-	secs, err := Launch(p, opts)
+	secs, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestTimeUnits(t *testing.T) {
 	}
 	opts.TimeUnit = UnitTSC
 	opts.CoreFrequencyGHz = 1.335 // half nominal: TSC = 2x core cycles
-	tsc, err := Launch(p, opts)
+	tsc, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,23 +230,23 @@ func TestOptionValidation(t *testing.T) {
 	p := parse(t, kernelSrc(1, "movss", 4), "k")
 	bad := defaultTestOptions()
 	bad.Alignments = []int64{5000}
-	if _, err := Launch(p, bad); err == nil {
+	if _, err := Launch(context.Background(), p, bad); err == nil {
 		t.Error("alignment beyond window accepted")
 	}
 	bad2 := defaultTestOptions()
 	bad2.MachineName = "z80"
-	if _, err := Launch(p, bad2); err == nil {
+	if _, err := Launch(context.Background(), p, bad2); err == nil {
 		t.Error("unknown machine accepted")
 	}
 	bad3 := defaultTestOptions()
 	bad3.Mode = Fork
 	bad3.Cores = 1000
-	if _, err := Launch(p, bad3); err == nil {
+	if _, err := Launch(context.Background(), p, bad3); err == nil {
 		t.Error("1000-core fork on a 12-core machine accepted")
 	}
 	bad4 := defaultTestOptions()
 	bad4.PinCore = 64
-	if _, err := Launch(p, bad4); err == nil {
+	if _, err := Launch(context.Background(), p, bad4); err == nil {
 		t.Error("pin to nonexistent core accepted")
 	}
 }
@@ -270,7 +271,7 @@ func TestParsersAndStrings(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	p := parse(t, kernelSrc(2, "movaps", 16), "k")
-	m, err := Launch(p, defaultTestOptions())
+	m, err := Launch(context.Background(), p, defaultTestOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestStatisticSelection(t *testing.T) {
 	p := parse(t, kernelSrc(2, "movaps", 16), "k")
 	opts := defaultTestOptions()
 	opts.Statistic = stats.StatMax
-	mMax, err := Launch(p, opts)
+	mMax, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,13 +306,13 @@ func TestStatisticSelection(t *testing.T) {
 func TestTruncatedMeasurement(t *testing.T) {
 	p := parse(t, kernelSrc(8, "movaps", 16), "k")
 	full := defaultTestOptions()
-	fullM, err := Launch(p, full)
+	fullM, err := Launch(context.Background(), p, full)
 	if err != nil {
 		t.Fatal(err)
 	}
 	trunc := full
 	trunc.MaxInstructions = 500
-	truncM, err := Launch(p, trunc)
+	truncM, err := Launch(context.Background(), p, trunc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,13 +336,13 @@ func TestOpenMPDynamicSchedule(t *testing.T) {
 	opts.ArrayBytes = 64 << 10
 	opts.InnerReps = 1
 	opts.OuterReps = 2
-	static, err := Launch(p, opts)
+	static, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.OMPDynamic = true
 	opts.OMPChunkElements = 1024
-	dynamic, err := Launch(p, opts)
+	dynamic, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +360,7 @@ func TestCSVEnergyColumns(t *testing.T) {
 	p := parse(t, kernelSrc(2, "movaps", 16), "k")
 	opts := defaultTestOptions()
 	opts.ReportEnergy = true
-	m, err := Launch(p, opts)
+	m, err := Launch(context.Background(), p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

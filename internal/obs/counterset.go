@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterSet is a concurrency-safe registry of named monotonic event
+// counters — the campaign-level companion of the per-measurement Counters
+// snapshot. The campaign engine records "campaign.launches",
+// "campaign.cache.hits", "campaign.cache.misses", "campaign.variants" and
+// "campaign.failures" through one, so tests (and operators) can assert
+// properties like "a warm-cache rerun performs zero launches" without
+// instrumenting the launcher itself.
+//
+// A nil *CounterSet is the disabled default: every method nil-checks and
+// returns immediately, mirroring the nil-*Tracer convention.
+type CounterSet struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty, enabled counter registry.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: map[string]int64{}}
+}
+
+// Add increments the named counter by delta.
+func (s *CounterSet) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counts[name] += delta
+	s.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (s *CounterSet) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the named counter's current value (0 when never incremented
+// or on a nil set).
+func (s *CounterSet) Get(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (s *CounterSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	s := NewCounterSet()
+	s.Inc("campaign.variants")
+	s.Add("campaign.variants", 2)
+	s.Add("campaign.launches", 5)
+	if got := s.Get("campaign.variants"); got != 3 {
+		t.Errorf("variants = %d, want 3", got)
+	}
+	if got := s.Get("campaign.launches"); got != 5 {
+		t.Errorf("launches = %d, want 5", got)
+	}
+	if got := s.Get("never.touched"); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap["campaign.variants"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// The snapshot is a copy: mutating it must not touch the set.
+	snap["campaign.variants"] = 99
+	if got := s.Get("campaign.variants"); got != 3 {
+		t.Errorf("snapshot aliases the live map (got %d)", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "campaign.launches" || names[1] != "campaign.variants" {
+		t.Errorf("names = %v, want sorted pair", names)
+	}
+}
+
+func TestCounterSetNilIsNoOp(t *testing.T) {
+	var s *CounterSet
+	s.Inc("x")
+	s.Add("x", 7)
+	if got := s.Get("x"); got != 0 {
+		t.Errorf("nil set returned %d", got)
+	}
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil snapshot = %v", snap)
+	}
+	if names := s.Names(); len(names) != 0 {
+		t.Errorf("nil names = %v", names)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}

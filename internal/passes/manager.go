@@ -9,6 +9,7 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,6 +22,11 @@ import (
 
 // Context carries pipeline-wide state. A fresh Context is used per Run.
 type Context struct {
+	// Ctx carries the caller's cancellation/deadline context through the
+	// pipeline; nil means not cancellable. Manager.Run checks it between
+	// passes and the emit pass checks it between kernels, so a canceled
+	// campaign stops the generator promptly.
+	Ctx context.Context
 	// Seed seeds the random-select pass (kernels may override with their
 	// own <random_selection><seed>).
 	Seed int64
@@ -33,8 +39,14 @@ type Context struct {
 	// Trace, when active, is the parent span the pipeline records its
 	// per-pass spans under. The zero Span is the no-op default.
 	Trace obs.Span
-	// Programs receives the emit pass output.
+	// Programs receives the emit pass output (materialized mode).
 	Programs []codegen.Program
+	// Sink, when non-nil, switches the emit pass to streaming mode: each
+	// program is verified inline (honouring VerifyMode) and handed to the
+	// sink as soon as it is rendered, and Programs stays empty, so an
+	// N-variant family never holds all rendered programs at once. A sink
+	// error aborts the pipeline.
+	Sink func(codegen.Program) error
 
 	// VerifyMode selects how the final verify-variants pass treats its
 	// findings: verify.ModeEnforce (the zero value) fails the pipeline on
@@ -64,6 +76,16 @@ type Context struct {
 // can record sub-spans (e.g. per-program code generation). Outside
 // Manager.Run it is the zero, no-op Span.
 func (c *Context) PassSpan() obs.Span { return c.pass }
+
+// Err reports the pipeline context's cancellation state: nil while the
+// run may continue, the context's error once it is canceled or past its
+// deadline (and always nil when no context is attached).
+func (c *Context) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
 
 // RNG returns the context's seeded random source.
 func (c *Context) RNG() *rand.Rand {
@@ -257,6 +279,10 @@ func (m *Manager) Run(ctx *Context, kernels []*ir.Kernel) ([]*ir.Kernel, error) 
 	ks := kernels
 	pipeline := ctx.Trace.Child("passes").Int("kernels_in", int64(len(ks)))
 	for _, p := range m.passes {
+		if err := ctx.Err(); err != nil {
+			pipeline.Str("error", err.Error()).End()
+			return nil, err
+		}
 		if p.Gate != nil && !p.Gate(ctx) {
 			ctx.logf("pass %-22s skipped (gate)", p.Name)
 			continue

@@ -853,7 +853,9 @@ func passVerify(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 // the validate pass predicted. Findings accumulate in ctx.Diagnostics; in
 // enforce mode (the default) any error-severity finding fails the pipeline.
 // Parsed programs are cached on the codegen output so launchers can reuse
-// the decode work.
+// the decode work. In streaming mode (Context.Sink) the per-program rules
+// already ran at emit time and Programs is empty, so only the kernel-level
+// rules and expansion accounting run here.
 func passVerifyVariants(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 	opt := verify.Options{Suppress: ctx.VerifySuppress}
 	var diags verify.Diagnostics
@@ -901,6 +903,9 @@ func passVerifyVariants(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 
 func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 	for _, k := range ks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp := ctx.PassSpan().Child("codegen").Str("kernel", k.Name)
 		prog := codegen.Program{Name: k.Name, Kernel: k}
 		if ctx.EmitAssembly {
@@ -920,6 +925,33 @@ func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 			}
 			prog.CSource = c
 			sp.Int("c_bytes", int64(len(c)))
+		}
+		if ctx.Sink != nil {
+			// Streaming mode: verify-then-emit per program, so downstream
+			// consumers (the campaign engine) see only programs that passed
+			// the per-program rules, without retaining the full set. The
+			// kernel-level rules and expansion accounting still run in the
+			// verify-variants pass after the stream drains.
+			if ctx.VerifyMode != verify.ModeOff && prog.Assembly != "" {
+				parsed, ds := verify.AsmProgram(prog.Assembly, prog.Name,
+					verify.Options{Suppress: ctx.VerifySuppress})
+				ctx.Diagnostics = append(ctx.Diagnostics, ds...)
+				if parsed != nil {
+					prog.Parsed = parsed
+				}
+				if ctx.VerifyMode == verify.ModeEnforce {
+					if err := ds.Err(); err != nil {
+						sp.Str("error", err.Error()).End()
+						return nil, err
+					}
+				}
+			}
+			if err := ctx.Sink(prog); err != nil {
+				sp.Str("error", err.Error()).End()
+				return nil, err
+			}
+			sp.End()
+			continue
 		}
 		sp.End()
 		ctx.Programs = append(ctx.Programs, prog)

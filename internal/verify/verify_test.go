@@ -2,6 +2,7 @@ package verify_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"path/filepath"
 	"strings"
@@ -415,7 +416,7 @@ func TestSeedSpecsVerifyClean(t *testing.T) {
 		t.Fatal("no seed specs found")
 	}
 	for _, spec := range specs {
-		ds, progs, err := core.VetFile(spec, core.GenerateOptions{})
+		ds, progs, err := core.VetFile(context.Background(), spec, core.GenerateOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", spec, err)
 		}

@@ -25,9 +25,11 @@
 package microtools
 
 import (
+	"context"
 	"io"
 
 	"microtools/internal/analysis"
+	"microtools/internal/campaign"
 	"microtools/internal/codegen"
 	"microtools/internal/core"
 	"microtools/internal/experiments"
@@ -96,6 +98,17 @@ type (
 	// VerifyMode selects how generation treats verifier findings (see the
 	// VerifyEnforce/VerifyCollect/VerifyOff constants).
 	VerifyMode = verify.Mode
+	// CampaignOptions configures RunCampaign (workers, buffering, fail-fast,
+	// cache, progress callback, tracing).
+	CampaignOptions = campaign.Options
+	// CampaignResult is a campaign's per-variant results plus aggregate
+	// counts (emitted, launches, cache hits, failures).
+	CampaignResult = campaign.Result
+	// CampaignProgress is one progress-callback snapshot.
+	CampaignProgress = campaign.Progress
+	// MeasurementCache is the content-addressed measurement store used for
+	// campaign checkpoint/resume.
+	MeasurementCache = campaign.Cache
 )
 
 // Verification modes for GenerateOptions.Verify.
@@ -118,31 +131,32 @@ const (
 // NewTracer returns an enabled span tracer.
 func NewTracer() *Tracer { return obs.New() }
 
-// Generate runs MicroCreator over an XML kernel description (§3).
-func Generate(r io.Reader, opts GenerateOptions) ([]Program, error) {
-	return core.Generate(r, opts)
+// Generate runs MicroCreator over an XML kernel description (§3). The
+// context cancels generation between passes and between variants.
+func Generate(ctx context.Context, r io.Reader, opts GenerateOptions) ([]Program, error) {
+	return core.Generate(ctx, r, opts)
 }
 
 // GenerateString is Generate over a string.
-func GenerateString(xml string, opts GenerateOptions) ([]Program, error) {
-	return core.GenerateString(xml, opts)
+func GenerateString(ctx context.Context, xml string, opts GenerateOptions) ([]Program, error) {
+	return core.GenerateString(ctx, xml, opts)
 }
 
 // GenerateFile is Generate over a file.
-func GenerateFile(path string, opts GenerateOptions) ([]Program, error) {
-	return core.GenerateFile(path, opts)
+func GenerateFile(ctx context.Context, path string, opts GenerateOptions) ([]Program, error) {
+	return core.GenerateFile(ctx, path, opts)
 }
 
 // Vet runs MicroCreator in collect-only verification mode: the full pipeline
 // executes and the static verifier's findings come back as diagnostics
 // instead of failing generation (the CLI's `microtools vet`).
-func Vet(r io.Reader, opts GenerateOptions) (Diagnostics, []Program, error) {
-	return core.Vet(r, opts)
+func Vet(ctx context.Context, r io.Reader, opts GenerateOptions) (Diagnostics, []Program, error) {
+	return core.Vet(ctx, r, opts)
 }
 
 // VetFile is Vet over a file.
-func VetFile(path string, opts GenerateOptions) (Diagnostics, []Program, error) {
-	return core.VetFile(path, opts)
+func VetFile(ctx context.Context, path string, opts GenerateOptions) (Diagnostics, []Program, error) {
+	return core.VetFile(ctx, path, opts)
 }
 
 // LoadKernel parses assembly and selects the kernel function (§4.1).
@@ -155,21 +169,37 @@ func LoadKernelFile(path, functionName string) (*Kernel, error) {
 	return core.LoadKernelFile(path, functionName)
 }
 
-// Launch measures a kernel with MicroLauncher (§4).
-func Launch(prog *Kernel, opts LaunchOptions) (*Measurement, error) {
-	return core.Launch(prog, opts)
+// Launch measures a kernel with MicroLauncher (§4). The context cancels
+// the measurement between repetitions.
+func Launch(ctx context.Context, prog *Kernel, opts LaunchOptions) (*Measurement, error) {
+	return core.Launch(ctx, prog, opts)
 }
 
 // Run chains the tools end to end: generate every variant, launch each.
-func Run(xml io.Reader, gen GenerateOptions, launch LaunchOptions) ([]*Measurement, error) {
-	return core.Run(xml, gen, launch)
+func Run(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions) ([]*Measurement, error) {
+	return core.Run(ctx, xml, gen, launch)
 }
 
 // RunParallel is Run with the launches fanned out over a worker pool; each
 // variant runs on its own simulated machine, so results are bit-identical
 // to the serial run.
-func RunParallel(xml io.Reader, gen GenerateOptions, launch LaunchOptions, workers int) ([]*Measurement, error) {
-	return core.RunParallel(xml, gen, launch, workers)
+func RunParallel(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions, workers int) ([]*Measurement, error) {
+	return core.RunParallel(ctx, xml, gen, launch, workers)
+}
+
+// RunCampaign streams generated variants straight into a cancellable,
+// fault-isolated, optionally cached measurement campaign (the engine behind
+// `microtools run`); see CampaignOptions and the DESIGN.md "Campaign
+// engine" section.
+func RunCampaign(ctx context.Context, xml io.Reader, gen GenerateOptions, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(ctx, xml, gen, opts)
+}
+
+// OpenMeasurementCache opens (creating if needed) a JSONL-backed
+// content-addressed measurement cache for CampaignOptions.Cache; an
+// interrupted campaign resumes from it.
+func OpenMeasurementCache(path string) (*MeasurementCache, error) {
+	return campaign.OpenCache(path)
 }
 
 // DefaultLaunchOptions returns the paper-faithful launcher defaults.
@@ -193,12 +223,12 @@ func Experiments() []*Experiment { return experiments.All() }
 
 // RunExperiment regenerates one paper figure/table by id ("fig03" ...
 // "fig18", "tab02", "stability").
-func RunExperiment(id string, cfg ExperimentConfig) (*Table, error) {
+func RunExperiment(ctx context.Context, id string, cfg ExperimentConfig) (*Table, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(cfg)
+	return e.Run(ctx, cfg)
 }
 
 // RegisterPlugin registers a MicroCreator plugin (§3.3).

@@ -2,6 +2,7 @@ package microtools
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // paper's Fig. 6 family, launch a variant, render CSV, and consult the
 // experiment registry.
 func TestFacadeEndToEnd(t *testing.T) {
-	progs, err := GenerateString(fig6Spec(), GenerateOptions{})
+	progs, err := GenerateString(context.Background(), fig6Spec(), GenerateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	opts.ArrayBytes = 4 << 10
 	opts.InnerReps = 1
 	opts.OuterReps = 2
-	m, err := Launch(kernel, opts)
+	m, err := Launch(context.Background(), kernel, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if len(exps) < 13 {
 		t.Fatalf("registry has %d experiments", len(exps))
 	}
-	if _, err := RunExperiment("no-such", ExperimentConfig{}); err == nil {
+	if _, err := RunExperiment(context.Background(), "no-such", ExperimentConfig{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -73,7 +74,7 @@ func TestFacadeRun(t *testing.T) {
 	opts.ArrayBytes = 4 << 10
 	opts.InnerReps = 1
 	opts.OuterReps = 1
-	ms, err := Run(strings.NewReader(spec), GenerateOptions{}, opts)
+	ms, err := Run(context.Background(), strings.NewReader(spec), GenerateOptions{}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

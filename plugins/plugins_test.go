@@ -1,6 +1,7 @@
 package plugins
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestRegisteredByInit(t *testing.T) {
 }
 
 func TestDisableSwaps(t *testing.T) {
-	base, err := core.GenerateString(spec, core.GenerateOptions{})
+	base, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestDisableSwaps(t *testing.T) {
 	if len(base) != 30 {
 		t.Fatalf("baseline variants = %d, want 30", len(base))
 	}
-	noSwap, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"disable-swaps"}})
+	noSwap, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"disable-swaps"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestDisableSwaps(t *testing.T) {
 }
 
 func TestCapVariants(t *testing.T) {
-	capped, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"cap-variants-64"}})
+	capped, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"cap-variants-64"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestCapVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { plugin.Unregister(tight.PluginName) })
-	few, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"cap-variants-5"}})
+	few, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"cap-variants-5"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestCapVariants(t *testing.T) {
 }
 
 func TestOnlyMaxUnroll(t *testing.T) {
-	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"only-max-unroll"}})
+	progs, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"only-max-unroll"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestTagMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { plugin.Unregister(tag.PluginName) })
-	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"tag-snb"}})
+	progs, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"tag-snb"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestTagMachine(t *testing.T) {
 
 func TestEnableSchedule(t *testing.T) {
 	// The schedule pass must not break generation when enabled.
-	progs, err := core.GenerateString(spec, core.GenerateOptions{Plugins: []string{"enable-schedule"}})
+	progs, err := core.GenerateString(context.Background(), spec, core.GenerateOptions{Plugins: []string{"enable-schedule"}})
 	if err != nil {
 		t.Fatal(err)
 	}

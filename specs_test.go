@@ -1,6 +1,7 @@
 package microtools
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -29,7 +30,7 @@ func TestShippedSpecsGenerate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		progs, err := GenerateString(string(data), GenerateOptions{})
+		progs, err := GenerateString(context.Background(), string(data), GenerateOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
