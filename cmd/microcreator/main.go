@@ -19,8 +19,8 @@ import (
 	"strings"
 	"syscall"
 
+	"microtools/internal/cliutil"
 	"microtools/internal/core"
-	"microtools/internal/obs"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
 	"microtools/internal/verify"
@@ -39,12 +39,14 @@ func main() {
 		pluginList = flag.String("plugins", "", "comma-separated registered plugins to apply")
 		listPasses = flag.Bool("list-passes", false, "print the pass pipeline and exit")
 		verbose    = flag.Bool("v", false, "per-pass progress on stderr")
-		traceOut   = flag.String("trace", "", "write a span trace of the generation pipeline to this file (.json = Chrome trace_event, .jsonl = spans per line)")
 		verifyOnly = flag.Bool("verify", false, "run the static verifier over every variant and print the diagnostics instead of writing programs (exit 1 on errors)")
 		verifyJSON = flag.Bool("verify-json", false, "like -verify, but emit the diagnostics as JSON")
 		noVerify   = flag.Bool("no-verify", false, "disable the verify-variants pass (generation proceeds even on verifier errors)")
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004,V008)")
+
+		trace cliutil.Trace
 	)
+	trace.Register(flag.CommandLine, "the generation pipeline")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels generation between passes and variants.
@@ -115,11 +117,7 @@ func main() {
 		}
 		return
 	}
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.New()
-		opts.Tracer = tracer
-	}
+	opts.Tracer = trace.Tracer()
 
 	var progs []core.GeneratedProgram
 	var err error
@@ -137,22 +135,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
 		os.Exit(1)
 	}
-	if tracer != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
-			os.Exit(1)
-		}
-		if err := tracer.WriteFileFormat(f, *traceOut); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace: %s (%d spans)\n", *traceOut, len(tracer.Records()))
+	if spans, err := trace.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+		os.Exit(1)
+	} else if spans > 0 {
+		fmt.Printf("trace: %s (%d spans)\n", trace.Path, spans)
 	}
 	fmt.Printf("generated %d benchmark programs (%d files) in %s\n",
 		len(progs), len(paths), *output)

@@ -22,12 +22,12 @@ import (
 	"syscall"
 	"time"
 
+	"microtools/internal/cliutil"
 	"microtools/internal/codegen"
 	"microtools/internal/core"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
-	"microtools/internal/obs"
 	"microtools/internal/stats"
 	"microtools/internal/verify"
 )
@@ -37,7 +37,6 @@ func main() {
 		// Input selection.
 		kernelPath = flag.String("kernel", "", "kernel assembly file (required; - for stdin)")
 		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1); -function all measures every function")
-		workers    = flag.Int("workers", 0, "worker pool size when measuring several functions (0 = GOMAXPROCS); each kernel runs on its own simulated machine, so results match a serial run")
 		noVerify   = flag.Bool("no-verify", false, "skip the pre-launch static verification of the kernel (internal/verify)")
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004)")
 		// Machine / environment.
@@ -69,15 +68,21 @@ func main() {
 		ompChunk  = flag.Int64("omp-chunk", 1024, "chunk elements for schedule(dynamic)")
 		energy    = flag.Bool("energy", false, "attach the power-model estimate (energy_j/avg_watts CSV columns)")
 		// Output.
-		unitName   = flag.String("unit", "tsc", "time unit: tsc|cycles|seconds")
-		perIter    = flag.Bool("per-iteration", true, "divide by the kernel's %eax iteration count (§4.4)")
-		verbose    = flag.Bool("v", false, "protocol progress on stderr")
-		memStats   = flag.Bool("mem-stats", false, "print memory-system counters on stderr")
-		dump       = flag.Bool("dump-kernel", false, "print the decoded kernel (AT&T) on stderr before running")
-		reportName = flag.String("report", "csv", "result encoding on stdout: csv|json")
-		counters   = flag.Bool("counters", false, "collect simulated-PMU counters over the measured region (shown in the json report; csv prints them on stderr)")
-		traceOut   = flag.String("trace", "", "write a span trace of the launch protocol to this file (.json = Chrome trace_event for chrome://tracing, .jsonl = one span per line)")
+		unitName = flag.String("unit", "tsc", "time unit: tsc|cycles|seconds")
+		perIter  = flag.Bool("per-iteration", true, "divide by the kernel's %eax iteration count (§4.4)")
+		verbose  = flag.Bool("v", false, "protocol progress on stderr")
+		memStats = flag.Bool("mem-stats", false, "print memory-system counters on stderr")
+		dump     = flag.Bool("dump-kernel", false, "print the decoded kernel (AT&T) on stderr before running")
+
+		report   cliutil.Report
+		counters cliutil.Counters
+		camp     cliutil.Campaign
+		trace    cliutil.Trace
 	)
+	report.Register(flag.CommandLine, "result encoding on stdout")
+	counters.Register(flag.CommandLine, "over the measured region (shown in the json report; csv prints them on stderr)")
+	camp.RegisterWorkers(flag.CommandLine, "measuring several functions")
+	trace.Register(flag.CommandLine, "the launch protocol")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels the measurement between repetitions.
@@ -144,76 +149,89 @@ func main() {
 		}
 	}
 
-	opts := launcher.DefaultOptions()
-	opts.FunctionName = *function
-	opts.MachineName = *machineName
-	opts.CoreFrequencyGHz = *freq
-	opts.PinCore = *pin
-	opts.Cores = *cores
-	opts.SpreadSockets = *spread
-	opts.DisableInterrupts = *noIRQ
-	opts.NoiseSeed = *noiseSeed
-	opts.NBVectors = *nbVectors
-	opts.ArrayBytes = *arrayBytes
-	opts.AlignWindow = *alignWin
-	opts.TripElements = *trip
-	opts.TripExact = *tripExact
-	opts.ElementBytes = *elemBytes
-	opts.InnerReps = *innerReps
-	opts.OuterReps = *outerReps
-	opts.Warmup = *warmup
-	opts.Calibrate = *calibrate
-	opts.MaxInstructions = *maxInsts
-	opts.OMPOverheadScale = *ompScale
-	opts.PerIteration = *perIter
-	opts.ReportEnergy = *energy
-	switch *ompSched {
-	case "static":
-	case "dynamic":
-		opts.OMPDynamic = true
-		opts.OMPChunkElements = *ompChunk
-	default:
-		fail(fmt.Errorf("unknown -omp-schedule %q (want static|dynamic)", *ompSched))
-	}
-
-	if opts.Mode, err = launcher.ParseMode(*mode); err != nil {
+	execMode, err := launcher.ParseMode(*mode)
+	if err != nil {
 		fail(err)
 	}
-	if opts.Statistic, err = stats.ParseStatistic(*statName); err != nil {
+	statistic, err := stats.ParseStatistic(*statName)
+	if err != nil {
 		fail(err)
 	}
-	if opts.TimeUnit, err = launcher.ParseTimeUnit(*unitName); err != nil {
+	timeUnit, err := launcher.ParseTimeUnit(*unitName)
+	if err != nil {
 		fail(err)
 	}
+	var aligns []int64
 	if *alignments != "" {
 		for _, a := range strings.Split(*alignments, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
 			if err != nil {
-				fail(fmt.Errorf("bad alignment %q: %v", a, err))
+				fail(fmt.Errorf("bad alignment %q: %w", a, err))
 			}
-			opts.Alignments = append(opts.Alignments, v)
+			aligns = append(aligns, v)
 		}
 	}
-	if *verbose {
-		opts.Verbose = os.Stderr
-	}
-	reportFormat, err := launcher.ParseReportFormat(*reportName)
+	reportFormat, err := report.Format()
 	if err != nil {
 		fail(err)
 	}
-	opts.CollectCounters = *counters
-	var tracer *obs.Tracer
-	if *traceOut != "" {
-		tracer = obs.New()
-		opts.Tracer = tracer
-	}
-	if !opts.DisableInterrupts && opts.NoiseSeed == 0 {
+	if !*noIRQ && *noiseSeed == 0 {
 		// Pick and announce the effective seed so a noisy run can be
 		// reproduced exactly with -noise-seed.
-		opts.NoiseSeed = time.Now().UnixNano()
+		*noiseSeed = time.Now().UnixNano()
 		fmt.Fprintf(os.Stderr, "microlauncher: interrupts enabled without -noise-seed; using seed %d (pass -noise-seed %d to reproduce)\n",
-			opts.NoiseSeed, opts.NoiseSeed)
+			*noiseSeed, *noiseSeed)
 	}
+
+	setters := []launcher.Option{
+		launcher.WithFunction(*function),
+		launcher.WithMode(execMode),
+		launcher.WithMachine(*machineName),
+		launcher.WithCoreFrequency(*freq),
+		launcher.WithPinCore(*pin),
+		launcher.WithCores(*cores),
+		launcher.WithSpreadSockets(*spread),
+		launcher.WithVectors(*nbVectors),
+		launcher.WithArrayBytes(*arrayBytes),
+		launcher.WithAlignments(aligns...),
+		launcher.WithAlignWindow(*alignWin),
+		launcher.WithTrip(*trip),
+		launcher.WithElementBytes(*elemBytes),
+		launcher.WithReps(*outerReps, *innerReps),
+		launcher.WithWarmup(*warmup),
+		launcher.WithCalibration(*calibrate),
+		launcher.WithStatistic(statistic),
+		launcher.WithMaxInstructions(*maxInsts),
+		launcher.WithOMPOverheadScale(*ompScale),
+		launcher.WithTimeUnit(timeUnit),
+		launcher.WithTracer(trace.Tracer()),
+	}
+	if !*noIRQ {
+		setters = append(setters, launcher.WithInterruptNoise(*noiseSeed))
+	}
+	if *tripExact {
+		setters = append(setters, launcher.WithExactTrip())
+	}
+	if *energy {
+		setters = append(setters, launcher.WithEnergy())
+	}
+	if !*perIter {
+		setters = append(setters, launcher.WithWholeCall())
+	}
+	if *verbose {
+		setters = append(setters, launcher.WithVerbose(os.Stderr))
+	}
+	if counters.Enabled {
+		setters = append(setters, launcher.WithCounters())
+	}
+	switch *ompSched {
+	case "static":
+	case "dynamic":
+		setters = append(setters, launcher.WithOMPDynamic(*ompChunk))
+	default:
+		fail(fmt.Errorf("unknown -omp-schedule %q (want static|dynamic)", *ompSched))
+	}
+	opts := launcher.NewOptions(setters...)
 
 	var ms []*launcher.Measurement
 	if len(kernels) == 1 {
@@ -230,7 +248,7 @@ func main() {
 		for i, k := range kernels {
 			progs[i] = codegen.Program{Name: k.Name, Parsed: k}
 		}
-		all, err := core.LaunchAllProgress(ctx, progs, opts, *workers, func(done, total int) {
+		all, err := core.LaunchAllProgress(ctx, progs, opts, camp.Workers, func(done, total int) {
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "microlauncher: %d/%d functions measured\n", done, total)
 			}
@@ -257,7 +275,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mem %s: %+v\n", m.Kernel, m.MemStats)
 		}
 	}
-	if *counters && reportFormat == launcher.ReportCSV && m.Counters != nil {
+	if counters.Enabled && reportFormat == launcher.ReportCSV && m.Counters != nil {
 		c := m.Counters
 		fmt.Fprintf(os.Stderr, "counters: insts=%d cycles=%d cpi=%.3f branches=%d mispredicts=%d (rate %.4f) frontend-stalls=%d irq-stalls=%d\n",
 			c.RetiredInsts, c.CoreCycles, c.CPI(), c.Branches, c.BranchMispredicts, c.MispredictRate(),
@@ -265,20 +283,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "counters: l1-hit-rate=%.4f l1-mpki=%.2f l2-mpki=%.2f l3-mpki=%.2f mem-bytes=%d\n",
 			c.L1HitRate(), c.L1MPKI(), c.L2MPKI(), c.L3MPKI(), c.Mem.BytesFromMemory)
 	}
-	if tracer != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := tracer.WriteFileFormat(f, *traceOut); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "microlauncher: trace (%d spans) written to %s\n", len(tracer.Records()), *traceOut)
-		}
+	spans, err := trace.Flush()
+	if err != nil {
+		fail(err)
+	}
+	if spans > 0 && *verbose {
+		fmt.Fprintf(os.Stderr, "microlauncher: trace (%d spans) written to %s\n", spans, trace.Path)
 	}
 }

@@ -24,6 +24,7 @@ func TestBadFixtureTripsEveryRule(t *testing.T) {
 		"L004": 1, // droppedSpan only; ended and escaped spans are fine
 		"L005": 2, // capitalized + trailing punctuation
 		"L006": 3, // Background + TODO + misplaced exported ctx param
+		"L007": 1, // %v-flattened cause (the %w forms are clean)
 	}
 	got := map[string]int{}
 	for _, d := range ds {
@@ -34,8 +35,8 @@ func TestBadFixtureTripsEveryRule(t *testing.T) {
 			t.Errorf("rule %s: %d findings, want %d\nall: %v", rule, got[rule], n, ds)
 		}
 	}
-	if len(ds) != 2+1+1+1+2+3 {
-		t.Errorf("total findings %d, want 10: %v", len(ds), ds)
+	if len(ds) != 2+1+1+1+2+3+1 {
+		t.Errorf("total findings %d, want 11: %v", len(ds), ds)
 	}
 }
 

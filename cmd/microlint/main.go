@@ -21,6 +21,10 @@
 //	      or context.TODO() outside cmd/ and tests (contexts are created at
 //	      the entry points and threaded down), and an exported function that
 //	      takes a context.Context must take it as its first parameter.
+//	L007  library errors must wrap their causes: an error value passed to
+//	      fmt.Errorf takes the %w verb, not %v/%s/%q — flattening the cause
+//	      severs the errors.Is/errors.As chain the error taxonomy
+//	      (campaign.Error, faults.Error, launcher fault classes) relies on.
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -186,6 +190,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkGlobalRand(ctx)
 	checkSpans(ctx)
 	checkErrorStrings(ctx)
+	checkErrorWrapping(ctx)
 	checkContext(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
@@ -382,6 +387,103 @@ func checkErrorStrings(c *fileContext) {
 		}
 		return true
 	})
+}
+
+// checkErrorWrapping implements L007: in library packages, an error value
+// formatted into fmt.Errorf must use the %w verb so the cause stays on the
+// errors.Is/errors.As chain. Error values are recognized syntactically — an
+// identifier or field whose name is err-like ("err", "lastErr", ...) — which
+// covers the repository's idiom without type information.
+func checkErrorWrapping(c *fileContext) {
+	if !c.library {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		if fn, ok := pkgCall(c, call, "fmt"); !ok || fn != "Errorf" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := formatVerbs(format)
+		for i, arg := range call.Args[1:] {
+			name, ok := errLikeName(arg)
+			if !ok || i >= len(verbs) {
+				continue
+			}
+			if v := verbs[i]; v != 'w' {
+				c.report(arg.Pos(), "L007",
+					"error %s is flattened with %%%c: wrap it with %%w so errors.Is/errors.As still reach the cause", name, v)
+			}
+		}
+		return true
+	})
+}
+
+// formatVerbs returns the verb rune consumed by each successive argument of
+// a Printf-style format string. A `*` width or precision consumes an
+// argument of its own and is recorded as '*'.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+	spec:
+		for i < len(format) {
+			switch ch := format[i]; {
+			case ch == '%':
+				i++
+				break spec // literal %%, consumes nothing
+			case strings.ContainsRune("+-# 0.", rune(ch)) || ch >= '0' && ch <= '9':
+				i++
+			case ch == '*':
+				verbs = append(verbs, '*')
+				i++
+			default:
+				verbs = append(verbs, rune(ch))
+				i++
+				break spec
+			}
+		}
+	}
+	return verbs
+}
+
+// errLikeName reports whether the expression is, by name, an error value:
+// an identifier or selector field called "err"/"error" or suffixed with it
+// ("lastErr", "rerr"); writer names like "stderr" are excluded.
+func errLikeName(e ast.Expr) (string, bool) {
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return "", false
+	}
+	lower := strings.ToLower(name)
+	if lower == "stderr" {
+		return "", false
+	}
+	if lower == "err" || lower == "error" ||
+		strings.HasSuffix(name, "Err") || strings.HasSuffix(name, "err") ||
+		strings.HasSuffix(name, "Error") {
+		return name, true
+	}
+	return "", false
 }
 
 // checkContext implements L006. Library packages must not mint their own

@@ -54,6 +54,17 @@ func badErrors() error {
 	return fmt.Errorf("bad thing happened.")
 }
 
+// flattenedCause trips L007 once: the cause is formatted with %v. The %w
+// form below it is clean, as is the bare width-star formatting of non-error
+// values.
+func flattenedCause(err error) error {
+	if err != nil {
+		return fmt.Errorf("bad: loading spec: %v", err)
+	}
+	wrapped := fmt.Errorf("bad: loading spec: %w", err)
+	return fmt.Errorf("bad: %*d items: %w", 4, 7, wrapped)
+}
+
 // mintedRoot trips L006 twice: Background and TODO both sever the caller's
 // cancellation chain.
 func mintedRoot() context.Context {

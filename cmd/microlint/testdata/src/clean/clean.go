@@ -38,3 +38,8 @@ func lowerErr() error {
 	}
 	return fmt.Errorf("clean: %d items left", 3)
 }
+
+// wrapped keeps the cause on the errors.Is chain with %w.
+func wrapped(name string, err error) error {
+	return fmt.Errorf("clean: %s: %w", name, err)
+}

@@ -8,17 +8,29 @@
 //	microtools -experiment fig11 [-quick] [-csv out.csv] [-v]
 //	microtools -all [-quick] [-outdir results/]
 //	microtools -study spec.xml [-workers N] [-cache measurements.jsonl] [-fail-fast]
+//	          [-retries N] [-retry-backoff D] [-deadline D] [-quarantine N]
 //	microtools vet [-json] [-suppress V004,V008] spec.xml...
+//	microtools chaos [-fault-seed N] [-fault-rate R] [-fault-burst N]
+//	          [-fault-permanent] [-retries N] spec.xml
 //
 // The -study flow runs as a campaign (internal/campaign): generated
 // variants stream into a cancellable worker pool, failures are isolated
 // per variant, and -cache keeps a content-addressed measurement store so
-// an interrupted or repeated study resumes without re-measuring.
+// an interrupted or repeated study resumes without re-measuring. The
+// resilience budgets bound each variant (-deadline), re-attempt transient
+// failures with deterministic backoff (-retries, -retry-backoff) and
+// withdraw repeat offenders (-quarantine).
 //
 // The vet subcommand runs MicroCreator's static verifier over every variant
 // a spec expands to — without launching anything — and reports the findings
 // (see internal/verify for the rule catalog). It exits non-zero when any
 // error-severity diagnostic is found.
+//
+// The chaos subcommand replays a spec's campaign under a deterministic,
+// seed-driven fault plan (internal/faults) and verifies the resilience
+// contract: with transient faults and a sufficient retry budget, the final
+// measurements are bit-identical to a fault-free run. It exits non-zero
+// when the chaotic run diverges from the clean one.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 
 	"microtools/internal/analysis"
 	"microtools/internal/campaign"
+	"microtools/internal/cliutil"
 	"microtools/internal/core"
 	"microtools/internal/experiments"
 	"microtools/internal/launcher"
@@ -97,36 +110,157 @@ func runVet(ctx context.Context, args []string) {
 	}
 }
 
+// runChaos implements the chaos subcommand: run one spec's campaign twice —
+// fault-free, then under the seeded fault plan with the retry budget — and
+// check the resilience contract. With transient faults the chaotic run must
+// reproduce the clean measurements bit-identically; with -fault-permanent,
+// failures are expected and only the surviving variants are compared. Exit
+// status 1 means divergence (or an unrunnable spec).
+func runChaos(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		machineName = fs.String("machine", "nehalem-dual/8", "simulated machine for the campaign")
+		size        = fs.Int64("size", 1<<13, "array bytes per variant")
+		vFlag       = fs.Bool("v", false, "per-run accounting on stderr")
+	)
+	var chaos cliutil.Chaos
+	chaos.Register(fs)
+	var camp cliutil.Campaign
+	camp.RegisterWorkers(fs, "the chaos campaign")
+	camp.RegisterResilience(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: microtools chaos [flags] spec.xml")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	// Unless the user chose a budget, default to the minimum that provably
+	// heals every transient fault: a variant's launch path crosses up to
+	// five distinct injection sites (worker launch, two repetition
+	// boundaries, calibration stepping, kernel stepping), each injecting
+	// Burst failures before healing, and every failed attempt consumes
+	// exactly one of those failures.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !explicit["retries"] && !chaos.Permanent {
+		camp.Retries = 5 * chaos.Burst
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microtools: chaos: %v\n", err)
+		os.Exit(1)
+	}
+	spec := fs.Arg(0)
+	opts := launcher.NewOptions(
+		launcher.WithMachine(*machineName),
+		launcher.WithArrayBytes(*size),
+		launcher.WithReps(2, 1),
+	)
+
+	run := func(in *campaign.Options) (*campaign.Result, error) {
+		copts := camp.Options()
+		copts.Launch = opts
+		if in != nil {
+			copts.Faults = in.Faults
+			copts.Counters = in.Counters
+		}
+		return campaign.RunFile(ctx, spec, core.GenerateOptions{}, copts)
+	}
+
+	clean, err := run(nil)
+	if err != nil {
+		fail(fmt.Errorf("fault-free run: %w", err))
+	}
+	injector := chaos.Injector()
+	counters := obs.NewCounterSet()
+	injector.SetCounters(counters)
+	chaotic, cerr := run(&campaign.Options{Faults: injector, Counters: counters})
+	if cerr != nil && !chaos.Permanent {
+		fail(fmt.Errorf("chaotic run: %w", cerr))
+	}
+
+	fmt.Printf("chaos: seed %d rate %g burst %d class %s: %d faults injected at %d sites\n",
+		chaos.Seed, chaos.Rate, chaos.Burst, map[bool]string{false: "transient", true: "permanent"}[chaos.Permanent],
+		injector.Count(), len(injector.Injected()))
+	fmt.Printf("chaos: %d variants, %d retries, %d quarantined, %d failed\n",
+		chaotic.Emitted, chaotic.Retries, chaotic.Quarantined, chaotic.Failures)
+	if *vFlag {
+		for _, s := range injector.Injected() {
+			fmt.Fprintf(os.Stderr, "  fault %s[%s] ×%d\n", s.Point, s.Key, s.Count)
+		}
+		for _, name := range []string{"campaign.retry", "faults.injected", "variant.quarantined"} {
+			fmt.Fprintf(os.Stderr, "  counter %s = %d\n", name, counters.Get(name))
+		}
+	}
+
+	want := map[string]float64{}
+	for _, m := range clean.Measurements() {
+		want[m.Kernel] = m.Value
+	}
+	diverged := 0
+	matched := 0
+	for _, m := range chaotic.Measurements() {
+		v, ok := want[m.Kernel]
+		if !ok || v != m.Value {
+			diverged++
+			fmt.Fprintf(os.Stderr, "microtools: chaos: %s diverged: clean %v, chaotic %v\n", m.Kernel, v, m.Value)
+			continue
+		}
+		matched++
+	}
+	switch {
+	case diverged > 0:
+		fail(fmt.Errorf("%d of %d surviving variants diverged from the fault-free run", diverged, matched+diverged))
+	case !chaos.Permanent && chaotic.Failures > 0:
+		fail(fmt.Errorf("%d variants failed despite transient faults and a retry budget of %d", chaotic.Failures, camp.Retries))
+	default:
+		fmt.Printf("chaos: %d surviving variants bit-identical to the fault-free run\n", matched)
+	}
+}
+
 func main() {
 	// Ctrl-C / SIGTERM cancels the running campaign or experiment; a study
 	// returns its partial results (and its cache keeps what was measured).
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if len(os.Args) > 1 && os.Args[1] == "vet" {
-		runVet(ctx, os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "vet":
+			runVet(ctx, os.Args[2:])
+			return
+		case "chaos":
+			runChaos(ctx, os.Args[2:])
+			return
+		}
 	}
 	var (
-		list     = flag.Bool("list", false, "list the available experiments")
-		expID    = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")
-		all      = flag.Bool("all", false, "run every experiment")
-		study    = flag.String("study", "", "XML kernel description: generate all variants, launch each, report the best (§7 workflow)")
-		machine  = flag.String("machine", "nehalem-dual/8", "machine for -study")
-		size     = flag.Int64("size", 1<<14, "array bytes for -study")
-		screen   = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
-		quick    = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
-		csvOut   = flag.String("csv", "", "write the result table as CSV to this file")
-		outDir   = flag.String("outdir", "results", "output directory for -all")
-		plain    = flag.Bool("no-chart", false, "suppress the ASCII chart")
-		vFlag    = flag.Bool("v", false, "progress on stderr")
-		report   = flag.String("report", "csv", "encoding for the -study measurement table written with -csv: csv|json")
-		counters = flag.Bool("counters", false, "collect simulated-PMU counters for every -study measurement")
-		workers  = flag.Int("workers", 0, "launch pool size for -study (0 = GOMAXPROCS); results are bit-identical to a serial run")
-		cacheP   = flag.String("cache", "", "content-addressed measurement cache (JSONL) for -study: hits skip the launch, so an interrupted study resumes where it stopped")
-		failFast = flag.Bool("fail-fast", false, "stop the -study campaign on the first variant failure instead of isolating it")
-		traceOut = flag.String("trace", "", "write a span trace of the -study campaign (generation + every launch) to this file (.json = Chrome trace_event, .jsonl = spans per line)")
+		list    = flag.Bool("list", false, "list the available experiments")
+		expID   = flag.String("experiment", "", "run one experiment by id (fig03..fig18, tab02, stability, ext-*)")
+		all     = flag.Bool("all", false, "run every experiment")
+		study   = flag.String("study", "", "XML kernel description: generate all variants, launch each, report the best (§7 workflow)")
+		machine = flag.String("machine", "nehalem-dual/8", "machine for -study")
+		size    = flag.Int64("size", 1<<14, "array bytes for -study")
+		screen  = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
+		quick   = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
+		csvOut  = flag.String("csv", "", "write the result table as CSV to this file")
+		outDir  = flag.String("outdir", "results", "output directory for -all")
+		plain   = flag.Bool("no-chart", false, "suppress the ASCII chart")
+		vFlag   = flag.Bool("v", false, "progress on stderr")
+
+		report   cliutil.Report
+		counters cliutil.Counters
+		camp     cliutil.Campaign
+		trace    cliutil.Trace
 	)
+	report.Register(flag.CommandLine, "encoding for the -study measurement table written with -csv")
+	counters.Register(flag.CommandLine, "for every -study measurement")
+	camp.Register(flag.CommandLine, "-study")
+	camp.RegisterResilience(flag.CommandLine)
+	trace.Register(flag.CommandLine, "the -study campaign (generation + every launch)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -179,23 +313,23 @@ func main() {
 
 	switch {
 	case *study != "":
-		reportFormat, err := launcher.ParseReportFormat(*report)
+		reportFormat, err := report.Format()
 		if err != nil {
 			fail(err)
 		}
-		opts := launcher.DefaultOptions()
-		opts.MachineName = *machine
-		opts.ArrayBytes = *size
-		opts.CollectCounters = *counters
+		tracer := trace.Tracer()
+		setters := []launcher.Option{
+			launcher.WithMachine(*machine),
+			launcher.WithArrayBytes(*size),
+			launcher.WithTracer(tracer),
+		}
+		if counters.Enabled {
+			setters = append(setters, launcher.WithCounters())
+		}
 		if *quick {
-			opts.InnerReps = 1
-			opts.OuterReps = 2
+			setters = append(setters, launcher.WithReps(2, 1))
 		}
-		var tracer *obs.Tracer
-		if *traceOut != "" {
-			tracer = obs.New()
-			opts.Tracer = tracer
-		}
+		opts := launcher.NewOptions(setters...)
 		var ms []*launcher.Measurement
 		partial := false
 		if *screen > 0 {
@@ -229,22 +363,19 @@ func main() {
 			if !*vFlag {
 				progress = nil
 			}
-			ms, err = core.LaunchAllProgress(ctx, kept, opts, *workers, progress)
+			ms, err = core.LaunchAllProgress(ctx, kept, opts, camp.Workers, progress)
 			if err != nil {
 				fail(err)
 			}
 		} else {
-			copts := campaign.Options{
-				Launch:   opts,
-				Workers:  *workers,
-				FailFast: *failFast,
-				Tracer:   tracer,
+			copts := camp.Options()
+			copts.Launch = opts
+			copts.Tracer = tracer
+			cache, err := camp.OpenCache()
+			if err != nil {
+				fail(err)
 			}
-			if *cacheP != "" {
-				cache, err := campaign.OpenCache(*cacheP)
-				if err != nil {
-					fail(err)
-				}
+			if cache != nil {
 				defer cache.Close()
 				copts.Cache = cache
 			}
@@ -279,8 +410,8 @@ func main() {
 				partial = true
 			}
 			if *vFlag && res != nil {
-				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures\n",
-					res.Emitted, res.Launches, res.CacheHits, res.Failures)
+				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures, %d retries, %d quarantined\n",
+					res.Emitted, res.Launches, res.CacheHits, res.Failures, res.Retries, res.Quarantined)
 			}
 			ms = res.Measurements()
 		}
@@ -297,19 +428,10 @@ func main() {
 			}
 			fmt.Printf("%s: %s\n", reportFormat, *csvOut)
 		}
-		if tracer != nil {
-			out, err := os.Create(*traceOut)
-			if err != nil {
-				fail(err)
-			}
-			if err := tracer.WriteFileFormat(out, *traceOut); err != nil {
-				out.Close()
-				fail(err)
-			}
-			if err := out.Close(); err != nil {
-				fail(err)
-			}
-			fmt.Printf("trace: %s (%d spans)\n", *traceOut, len(tracer.Records()))
+		if spans, err := trace.Flush(); err != nil {
+			fail(err)
+		} else if spans > 0 {
+			fmt.Printf("trace: %s (%d spans)\n", trace.Path, spans)
 		}
 		if partial {
 			os.Exit(1)

@@ -75,17 +75,17 @@ func main() {
 	fmt.Printf("search space: %d generated variants (move-width x unroll)\n", len(progs))
 
 	// 2. MicroLauncher: measure every variant on the target, with energy.
-	opts := microtools.DefaultLaunchOptions()
-	opts.MachineName = machineName
-	opts.ArrayBytes = 2 << 10 // the hotspot's working set: L1-resident
-	// Page-offset the destination away from the source: the launcher's
-	// alignment control avoids 4K store-load aliasing between the streams
-	// (the §5.2.2 effect — the ranking below is what remains once data
-	// placement is right).
-	opts.Alignments = []int64{0, 2048}
-	opts.InnerReps = 2
-	opts.OuterReps = 2
-	opts.ReportEnergy = true
+	opts := microtools.NewLaunchOptions(
+		microtools.WithMachine(machineName),
+		microtools.WithArrayBytes(2<<10), // the hotspot's working set: L1-resident
+		// Page-offset the destination away from the source: the launcher's
+		// alignment control avoids 4K store-load aliasing between the streams
+		// (the §5.2.2 effect — the ranking below is what remains once data
+		// placement is right).
+		microtools.WithAlignments(0, 2048),
+		microtools.WithReps(2, 2),
+		microtools.WithEnergy(),
+	)
 	var ms []*microtools.Measurement
 	for _, p := range progs {
 		kernel, err := microtools.LoadKernel(p.Assembly, "")

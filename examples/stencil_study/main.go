@@ -113,13 +113,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			opts := microtools.DefaultLaunchOptions()
-			opts.MachineName = "nehalem-dual/8"
-			opts.ArrayBytes = level.bytes
-			opts.MaxInstructions = 100_000
-			opts.InnerReps = 2
-			opts.OuterReps = 2
-			opts.Verbose = nil
+			opts := microtools.NewLaunchOptions(
+				microtools.WithMachine("nehalem-dual/8"),
+				microtools.WithArrayBytes(level.bytes),
+				microtools.WithMaxInstructions(100_000),
+				microtools.WithReps(2, 2),
+			)
 			m, err := microtools.Launch(ctx, kernel, opts)
 			if err != nil {
 				log.Fatal(err)

@@ -252,7 +252,7 @@ func parseOperand(text string, op isa.Op) (isa.Operand, error) {
 	case strings.HasPrefix(text, "$"):
 		v, err := parseInt(text[1:])
 		if err != nil {
-			return isa.Operand{}, fmt.Errorf("bad immediate %q: %v", text, err)
+			return isa.Operand{}, fmt.Errorf("bad immediate %q: %w", text, err)
 		}
 		return isa.NewImm(v), nil
 	case strings.HasPrefix(text, "%"):
@@ -292,7 +292,7 @@ func parseMem(text string) (isa.MemRef, error) {
 	if disp := strings.TrimSpace(text[:open]); disp != "" {
 		v, err := parseInt(disp)
 		if err != nil {
-			return m, fmt.Errorf("bad displacement %q: %v", disp, err)
+			return m, fmt.Errorf("bad displacement %q: %w", disp, err)
 		}
 		m.Disp = v
 	}
@@ -322,7 +322,7 @@ func parseMem(text string) (isa.MemRef, error) {
 		s := strings.TrimSpace(parts[2])
 		v, err := parseInt(s)
 		if err != nil {
-			return m, fmt.Errorf("bad scale %q: %v", s, err)
+			return m, fmt.Errorf("bad scale %q: %w", s, err)
 		}
 		if m.Index == isa.NoReg {
 			return m, fmt.Errorf("scale without index in %q", text)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 
+	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
@@ -34,6 +35,7 @@ func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
 	scrub := opts
 	scrub.Verbose = nil
 	scrub.Tracer = nil
+	scrub.Faults = nil // the fault plan perturbs execution, not the key
 	optJSON, err := json.Marshal(scrub)
 	if err != nil {
 		return "", fmt.Errorf("campaign: hashing options: %w", err)
@@ -88,6 +90,21 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]json.RawMessage
 	file    *os.File // nil for a memory-only cache
+	// faults, when non-nil, injects deterministic failures at the store's
+	// I/O boundaries (see SetFaults).
+	faults *faults.Injector
+}
+
+// SetFaults arms the store's fault-injection points: cache.get (a lookup
+// degrades to a miss), cache.put (the entry is rejected before storing)
+// and cache.checkpoint (the entry lands in memory but the backing-file
+// append fails — the torn-checkpoint scenario). Campaign.Run propagates
+// its own injector here when the cache has none; the injector stays
+// attached until replaced. A nil injector detaches.
+func (c *Cache) SetFaults(in *faults.Injector) {
+	c.mu.Lock()
+	c.faults = in
+	c.mu.Unlock()
 }
 
 // NewMemoryCache returns a cache with no backing file (useful for tests
@@ -146,7 +163,11 @@ func (c *Cache) Len() int {
 func (c *Cache) Get(key string) (*launcher.Measurement, bool) {
 	c.mu.Lock()
 	raw, ok := c.entries[key]
+	inj := c.faults
 	c.mu.Unlock()
+	if err := inj.Check(faults.PointCacheGet, key); err != nil {
+		return nil, false // an injected read fault degrades to a miss
+	}
 	if !ok {
 		return nil, false
 	}
@@ -165,6 +186,12 @@ func (c *Cache) Get(key string) (*launcher.Measurement, bool) {
 // measurement that does not survive the encoding (e.g. a NaN value) is
 // reported as an error and simply not cached.
 func (c *Cache) Put(key string, m *launcher.Measurement) (*launcher.Measurement, error) {
+	c.mu.Lock()
+	inj := c.faults
+	c.mu.Unlock()
+	if err := inj.Check(faults.PointCachePut, key); err != nil {
+		return nil, fmt.Errorf("campaign: cache put: %w", err)
+	}
 	raw, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: measurement not cacheable: %w", err)
@@ -181,6 +208,10 @@ func (c *Cache) Put(key string, m *launcher.Measurement) (*launcher.Measurement,
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[key] = raw
+	if err := inj.Check(faults.PointCacheCheckpoint, key); err != nil {
+		// The entry is live in memory; only the checkpoint write "failed".
+		return &canon, fmt.Errorf("campaign: cache append: %w", err)
+	}
 	if c.file != nil {
 		if _, err := c.file.Write(line); err != nil {
 			return &canon, fmt.Errorf("campaign: cache append: %w", err)

@@ -19,7 +19,13 @@
 //     kernel assembly + launcher options + machine model → Measurement,
 //     backed by an append-only JSONL store) lets an identical or
 //     overlapping re-run skip already-measured variants, which is also the
-//     checkpoint/resume story for interrupted sweeps.
+//     checkpoint/resume story for interrupted sweeps;
+//   - resilience: a per-variant deadline and a bounded retry policy with
+//     deterministic backoff re-attempt transient faults (faults.IsTransient)
+//     instead of failing the variant outright; variants that keep failing
+//     are quarantined, cache-write failures degrade to a counted miss, and
+//     the whole failure surface is exercisable on demand through the
+//     deterministic fault injector (internal/faults, Options.Faults).
 //
 // Results are deterministic and bit-identical across serial, parallel and
 // cache-warm runs: every variant runs on its own simulated machine, and
@@ -37,10 +43,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"microtools/internal/asm"
 	"microtools/internal/codegen"
 	"microtools/internal/core"
+	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/obs"
@@ -105,8 +113,31 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Counters, when non-nil, accumulates campaign-level event counters:
 	// campaign.variants, campaign.launches, campaign.cache.hits,
-	// campaign.cache.misses, campaign.failures.
+	// campaign.cache.misses, campaign.failures, campaign.retry,
+	// campaign.cache.put_errors, variant.quarantined (and, when Faults is
+	// armed with the same set, faults.injected).
 	Counters *obs.CounterSet
+
+	// --- resilience --------------------------------------------------------
+
+	// VariantDeadline bounds each variant's total measurement time, every
+	// attempt included (0 = unbounded). An expired deadline fails the
+	// variant — it is a variant fault, not a campaign cancellation.
+	VariantDeadline time.Duration
+	// Retry re-attempts variants that failed with a transient fault; see
+	// RetryPolicy. The zero value performs a single attempt.
+	Retry RetryPolicy
+	// Quarantine, when > 0, stops retrying a variant after that many
+	// consecutive failed attempts — even with retry budget left — and
+	// marks it quarantined in the result (counter: variant.quarantined).
+	// 0 disables quarantine.
+	Quarantine int
+	// Faults, when non-nil, arms the deterministic fault-injection plan
+	// at every built-in injection point: campaign worker launch, cache
+	// Get/Put/checkpoint I/O, launcher repetition boundaries and sim
+	// stepping (see internal/faults). It is propagated into Launch.Faults
+	// and the Cache unless those already carry their own injector.
+	Faults *faults.Injector
 
 	// launch substitutes the launcher in tests (nil = launcher.Launch).
 	launch launchFunc
@@ -136,6 +167,12 @@ type VariantResult struct {
 	Measurement *launcher.Measurement
 	// CacheHit reports that the measurement was served from the cache.
 	CacheHit bool
+	// Attempts is how many launch attempts the variant consumed (0 for
+	// cache hits; > 1 means transient faults were retried).
+	Attempts int
+	// Quarantined reports that the variant failed Options.Quarantine
+	// consecutive attempts and was withdrawn from further retries.
+	Quarantined bool
 	// Err is the variant's failure (nil on success).
 	Err error
 }
@@ -155,6 +192,12 @@ type Result struct {
 	// CacheHits and Failures break down the completions.
 	CacheHits int
 	Failures  int
+	// Retries counts launch re-attempts across all variants (0 on a
+	// fault-free run).
+	Retries int
+	// Quarantined counts variants withdrawn after Options.Quarantine
+	// consecutive failed attempts.
+	Quarantined int
 }
 
 // Measurements returns the successful measurements in generation order
@@ -215,6 +258,20 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	if opts.Tracer != nil && opts.Launch.Tracer == nil {
 		opts.Launch.Tracer = opts.Tracer
 	}
+	// Thread the fault plan down the stack: the launcher checks its
+	// repetition boundaries and sim stepping, the cache its I/O points.
+	if opts.Faults != nil {
+		if opts.Launch.Faults == nil {
+			opts.Launch.Faults = opts.Faults
+		}
+		if opts.Cache != nil {
+			opts.Cache.mu.Lock()
+			if opts.Cache.faults == nil {
+				opts.Cache.faults = opts.Faults
+			}
+			opts.Cache.mu.Unlock()
+		}
+	}
 
 	root := opts.Tracer.Start("campaign").
 		Str("machine", opts.Launch.MachineName).
@@ -231,13 +288,15 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	jobs := make(chan job, buffer)
 
 	var (
-		mu         sync.Mutex
-		results    []VariantResult
-		emitted    int
-		generating = true
-		hits       int
-		failed     int
-		launches   int
+		mu          sync.Mutex
+		results     []VariantResult
+		emitted     int
+		generating  = true
+		hits        int
+		failed      int
+		launches    int
+		retries     int
+		quarantined int
 	)
 	report := func() {
 		if opts.Progress == nil {
@@ -290,6 +349,9 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		if r.Err != nil {
 			failed++
 		}
+		if r.Quarantined {
+			quarantined++
+		}
 		report()
 		mu.Unlock()
 		if r.Err != nil {
@@ -298,6 +360,20 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				cancel()
 			}
 		}
+	}
+
+	// attempt runs one launch try, consulting the worker-launch injection
+	// point first; an injected fault there models the worker dying before
+	// the launcher even starts.
+	attempt := func(ctx context.Context, name string, kernel *isa.Program) (*launcher.Measurement, error) {
+		if err := opts.Faults.Check(faults.PointCampaignLaunch, name); err != nil {
+			return nil, err
+		}
+		opts.Counters.Inc("campaign.launches")
+		mu.Lock()
+		launches++
+		mu.Unlock()
+		return launch(ctx, kernel, opts.Launch)
 	}
 
 	measure := func(j job) {
@@ -331,27 +407,73 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				sp.Str("cache_key_error", err.Error())
 			}
 		}
-		opts.Counters.Inc("campaign.launches")
-		mu.Lock()
-		launches++
-		mu.Unlock()
-		m, err := launch(cctx, kernel, opts.Launch)
-		if err != nil {
-			// A variant interrupted by cancellation was not measured and is
-			// not a variant fault; the campaign-level ctx.Err() reports it.
+
+		// The variant's deadline covers every attempt, retries and backoff
+		// included; an expired deadline is a variant fault (recorded), not
+		// a campaign cancellation (skipped).
+		vctx := cctx
+		if opts.VariantDeadline > 0 {
+			var vcancel context.CancelFunc
+			vctx, vcancel = context.WithTimeout(cctx, opts.VariantDeadline)
+			defer vcancel()
+		}
+
+		budget := opts.Retry.attempts()
+		var m *launcher.Measurement
+		var err error
+		attempts := 0
+		isQuarantined := false
+		for {
+			m, err = attempt(vctx, j.prog.Name, kernel)
+			attempts++
+			if err == nil {
+				break
+			}
+			// The campaign itself was canceled (user or fail-fast): the
+			// variant was not measured and records no fault of its own.
 			if cctx.Err() != nil && errors.Is(err, cctx.Err()) {
 				return
 			}
+			if opts.Quarantine > 0 && attempts >= opts.Quarantine {
+				isQuarantined = true
+				opts.Counters.Inc("variant.quarantined")
+				sp.Int("quarantined_after", int64(attempts))
+				break
+			}
+			if attempts >= budget || vctx.Err() != nil || !faults.IsTransient(err) {
+				break
+			}
+			opts.Counters.Inc("campaign.retry")
+			mu.Lock()
+			retries++
+			mu.Unlock()
+			rsp := sp.Child("retry").
+				Int("attempt", int64(attempts)).
+				Str("error", err.Error())
+			opts.Retry.pause(vctx, j.prog.Name, attempts)
+			rsp.End()
+		}
+		if err != nil {
 			sp.Str("error", err.Error())
-			record(VariantResult{Index: j.index, Name: j.prog.Name, Err: err})
+			record(VariantResult{
+				Index: j.index, Name: j.prog.Name,
+				Attempts: attempts, Quarantined: isQuarantined, Err: err,
+			})
 			return
 		}
 		if opts.Cache != nil && key != "" {
-			if canon, err := opts.Cache.Put(key, m); err == nil && canon != nil {
+			canon, perr := opts.Cache.Put(key, m)
+			if perr != nil {
+				// A failed cache write degrades to a future miss; the sweep
+				// itself keeps its measurement and keeps going.
+				opts.Counters.Inc("campaign.cache.put_errors")
+				sp.Str("cache_put_error", perr.Error())
+			}
+			if canon != nil {
 				m = canon // adopt the store's canonical encoding (bit-identical warm hits)
 			}
 		}
-		record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m})
+		record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m, Attempts: attempts})
 	}
 
 	var poolWG sync.WaitGroup
@@ -372,11 +494,13 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 
 	mu.Lock()
 	res := &Result{
-		Results:   results,
-		Emitted:   emitted,
-		Launches:  launches,
-		CacheHits: hits,
-		Failures:  failed,
+		Results:     results,
+		Emitted:     emitted,
+		Launches:    launches,
+		CacheHits:   hits,
+		Failures:    failed,
+		Retries:     retries,
+		Quarantined: quarantined,
 	}
 	gerr := genErr
 	mu.Unlock()
@@ -384,7 +508,9 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	root.Int("variants", int64(res.Emitted)).
 		Int("launches", int64(res.Launches)).
 		Int("cache_hits", int64(res.CacheHits)).
-		Int("failures", int64(res.Failures))
+		Int("failures", int64(res.Failures)).
+		Int("retries", int64(res.Retries)).
+		Int("quarantined", int64(res.Quarantined))
 
 	if err := ctx.Err(); err != nil {
 		return res, err

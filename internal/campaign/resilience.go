@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy bounds how a campaign re-attempts a variant whose launch
+// failed with a transient fault (faults.IsTransient). Permanent and
+// unclassified errors are never retried: a malformed kernel or a bad
+// option set will not heal, and re-measuring it would only burn the
+// sweep's time budget.
+//
+// Backoff is deterministic: the delay before attempt k is
+// Backoff·2^(k-1) plus a jitter drawn purely from (Seed, variant name,
+// attempt) — no wall-clock randomness — so two runs of the same campaign
+// pause for identical durations in identical places. The zero policy
+// means one attempt and no retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per variant, first try
+	// included (<= 0 means 1: no retries).
+	MaxAttempts int
+	// Backoff is the base delay before the first retry; retry k waits
+	// Backoff·2^(k-1) plus deterministic jitter in [0, Backoff). Zero
+	// retries immediately.
+	Backoff time.Duration
+	// BackoffMax caps the grown delay (0 = 16×Backoff).
+	BackoffMax time.Duration
+	// Seed drives the deterministic jitter.
+	Seed int64
+
+	// sleep substitutes the pause in tests (nil = real timer).
+	sleep func(time.Duration)
+}
+
+// attempts returns the effective per-variant attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the deterministic backoff before retry attempt k
+// (1-based: the retry after the k-th failure).
+func (p RetryPolicy) delay(key string, attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt && d < 1<<40; i++ {
+		d *= 2
+	}
+	// Jitter in [0, Backoff) from (seed, key, attempt) only: reproducible
+	// across runs, decorrelated across variants.
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(p.Seed) >> (8 * i))
+		b[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	d += time.Duration(h.Sum64() % uint64(p.Backoff))
+	max := p.BackoffMax
+	if max <= 0 {
+		max = 16 * p.Backoff
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// pause waits out the backoff before retry `attempt` of the named
+// variant, returning early if ctx is canceled (the campaign was stopped
+// or the variant's deadline expired — no point finishing the wait).
+func (p RetryPolicy) pause(ctx context.Context, key string, attempt int) {
+	d := p.delay(key, attempt)
+	if d <= 0 {
+		return
+	}
+	if p.sleep != nil {
+		p.sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -314,27 +314,15 @@ func (e *LaunchErrors) Unwrap() []error {
 	return out
 }
 
-// Run chains the tools: generate all variants from the XML description and
-// launch each one, returning the measurements in generation order — the
-// paper's end-to-end automated workflow.
-func Run(ctx context.Context, xml io.Reader, gen GenerateOptions, launch launcher.Options) ([]*launcher.Measurement, error) {
-	return RunParallel(ctx, xml, gen, launch, 1)
-}
-
-// RunParallel is Run with the launches fanned out over a worker pool.
-// Every variant runs on its own simulated machine, so the measurements are
-// independent and bit-identical to a serial run; only wall-clock time
-// changes. workers <= 0 uses GOMAXPROCS.
-func RunParallel(ctx context.Context, xml io.Reader, gen GenerateOptions, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
-	progs, err := Generate(ctx, xml, gen)
-	if err != nil {
-		return nil, err
-	}
-	return LaunchAll(ctx, progs, launch, workers)
-}
-
-// LaunchAll measures every generated program over a worker pool (see
-// RunParallel), returning measurements in program order.
+// LaunchAll measures every generated program over a worker pool, returning
+// measurements in program order. Every variant runs on its own simulated
+// machine, so the measurements are independent and bit-identical to a
+// serial run; only wall-clock time changes. workers <= 0 uses GOMAXPROCS.
+//
+// The generate-then-launch chaining that used to live here (Run /
+// RunParallel) moved up to the campaign engine: internal/campaign.Run is
+// the single end-to-end entry point, and the microtools facade's Run wraps
+// it.
 func LaunchAll(ctx context.Context, progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
 	return LaunchAllProgress(ctx, progs, launch, workers, nil)
 }
@@ -497,7 +485,7 @@ func extractInlineAsm(src string) (string, error) {
 		block = block[j+1:]
 		unq, err := strconv.Unquote(`"` + lit + `"`)
 		if err != nil {
-			return "", fmt.Errorf("core: bad string literal in __asm__ block: %v", err)
+			return "", fmt.Errorf("core: bad string literal in __asm__ block: %w", err)
 		}
 		b.WriteString(unq)
 	}

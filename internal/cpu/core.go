@@ -138,7 +138,7 @@ func (c *Core) Reset(prog *isa.Program, regs *isa.RegFile, startCycle int64, max
 	for i := range prog.Insts {
 		uops, err := c.arch.Decode(&prog.Insts[i], nil)
 		if err != nil {
-			return fmt.Errorf("cpu: %v", err)
+			return fmt.Errorf("cpu: %w", err)
 		}
 		c.decoded[i] = uops
 	}

@@ -106,7 +106,7 @@ func (r *Register) Resolved() (isa.Reg, error) {
 		name := fmt.Sprintf("%s%d", r.RotBase, r.RotIdx)
 		reg, err := isa.ParseReg(name)
 		if err != nil {
-			return isa.NoReg, fmt.Errorf("ir: rotating register %q: %v", name, err)
+			return isa.NoReg, fmt.Errorf("ir: rotating register %q: %w", name, err)
 		}
 		return reg, nil
 	}
@@ -453,7 +453,7 @@ func (k *Kernel) Validate() error {
 		}
 		if in.Op != "" {
 			if _, err := isa.ParseOp(in.Op); err != nil {
-				return fmt.Errorf("ir: kernel %q instruction %d: %v", k.BaseName, i, err)
+				return fmt.Errorf("ir: kernel %q instruction %d: %w", k.BaseName, i, err)
 			}
 		}
 		if in.Move != nil {

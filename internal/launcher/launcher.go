@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"microtools/internal/cpu"
+	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/machine"
 	"microtools/internal/memsim"
@@ -166,6 +167,10 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 		Str("machine", opts.MachineName)
 	defer root.End()
 	defer mach.SetTraceSpan(obs.Span{})
+	if opts.Faults != nil {
+		mach.SetFaults(opts.Faults, prog.Name)
+		defer mach.SetFaults(nil, "")
+	}
 
 	nArrays := opts.NBVectors
 	if nArrays == 0 {
@@ -309,6 +314,10 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 		if err := ctxErr(ctx); err != nil {
 			msp.Str("error", err.Error()).End()
 			return nil, err
+		}
+		if err := opts.Faults.Check(faults.PointLauncherRep, fmt.Sprintf("%s/rep%d", prog.Name, rep)); err != nil {
+			msp.Str("error", err.Error()).End()
+			return nil, fmt.Errorf("launcher: rep %d: %w", rep, err)
 		}
 		rsp := msp.Child("rep").Int("rep", int64(rep))
 		repStart := mach.Now()

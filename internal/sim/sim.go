@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"microtools/internal/cpu"
+	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/machine"
 	"microtools/internal/memsim"
@@ -64,6 +65,12 @@ type Machine struct {
 	// call and nothing else.
 	span obs.Span
 
+	// injector, when non-nil, consults the deterministic fault plan at the
+	// faults.PointSimStep boundary before each Run/RunStream batch;
+	// faultKey scopes the injection sites to the owning launch.
+	injector *faults.Injector
+	faultKey string
+
 	// now is the machine's monotonic core-cycle clock. Warm-up traffic and
 	// successive runs all advance it, so shared memory-system timestamps
 	// (MSHRs, channel queues) never sit in a job's future.
@@ -89,6 +96,32 @@ func (m *Machine) SetNoise(cfg NoiseConfig) {
 
 // Noise returns the current noise configuration.
 func (m *Machine) Noise() NoiseConfig { return m.noise }
+
+// SetFaults arms (or, with a nil injector, disarms) deterministic fault
+// injection at the machine's stepping boundary: every Run/RunStream batch
+// consults the plan at faults.PointSimStep with key "<key>/<program>", so
+// a faulted calibration run is a distinct site from a faulted kernel run.
+// The launcher threads its Options.Faults through here for the duration
+// of one launch.
+func (m *Machine) SetFaults(in *faults.Injector, key string) {
+	m.injector = in
+	m.faultKey = key
+}
+
+// checkFault consults the stepping-boundary fault plan for a job batch.
+func (m *Machine) checkFault(prog *isa.Program) error {
+	if m.injector == nil {
+		return nil
+	}
+	key := prog.Name
+	if m.faultKey != "" {
+		key = m.faultKey + "/" + prog.Name
+	}
+	if err := m.injector.Check(faults.PointSimStep, key); err != nil {
+		return fmt.Errorf("sim: stepping %s: %w", prog.Name, err)
+	}
+	return nil
+}
 
 // SetTraceSpan parents subsequent Run/RunStream spans under sp. The
 // launcher repoints this at each protocol phase (warm-up, calibration,
@@ -167,6 +200,9 @@ type JobResult struct {
 func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sim: no jobs")
+	}
+	if err := m.checkFault(jobs[0].Prog); err != nil {
+		return nil, err
 	}
 	if m.span.Active() {
 		sp := m.span.Child("sim.run").Int("jobs", int64(len(jobs)))
@@ -282,6 +318,9 @@ type StreamResult struct {
 func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job) ([]StreamResult, error) {
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("sim: no initial jobs")
+	}
+	if err := m.checkFault(initial[0].Prog); err != nil {
+		return nil, err
 	}
 	if m.span.Active() {
 		sp := m.span.Child("sim.runstream").Int("slots", int64(len(initial)))

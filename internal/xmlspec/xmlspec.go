@@ -53,7 +53,7 @@ func Parse(r io.Reader) ([]*ir.Kernel, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmlspec: %v", err)
+			return nil, fmt.Errorf("xmlspec: %w", err)
 		}
 		se, ok := tok.(xml.StartElement)
 		if !ok {
@@ -77,7 +77,7 @@ func Parse(r io.Reader) ([]*ir.Kernel, error) {
 	}
 	for _, k := range kernels {
 		if err := k.Validate(); err != nil {
-			return nil, fmt.Errorf("xmlspec: %v", err)
+			return nil, fmt.Errorf("xmlspec: %w", err)
 		}
 	}
 	return kernels, nil
@@ -135,7 +135,7 @@ func parseKernel(dec *xml.Decoder, start xml.StartElement) (*ir.Kernel, error) {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xmlspec: in <kernel>: %v", err)
+			return nil, fmt.Errorf("xmlspec: in <kernel>: %w", err)
 		}
 		switch t := tok.(type) {
 		case xml.EndElement:
@@ -215,7 +215,7 @@ func (p *parser) parseInstruction(start xml.StartElement) (*ir.Instruction, erro
 	for {
 		tok, err := p.dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xmlspec: in <instruction>: %v", err)
+			return nil, fmt.Errorf("xmlspec: in <instruction>: %w", err)
 		}
 		switch t := tok.(type) {
 		case xml.EndElement:
@@ -446,7 +446,7 @@ func (p *parser) parseRegister(start xml.StartElement) (*ir.Register, error) {
 		return p.register("phy:"+phyName, func() (*ir.Register, error) {
 			reg, err := isa.ParseReg(phyName)
 			if err != nil {
-				return nil, fmt.Errorf("xmlspec: %v", err)
+				return nil, fmt.Errorf("xmlspec: %w", err)
 			}
 			return ir.NewPinned(reg, isa.Is32BitName(phyName)), nil
 		})
@@ -613,7 +613,7 @@ func (p *parser) each(start xml.StartElement, f func(xml.StartElement) error) er
 	for {
 		tok, err := p.dec.Token()
 		if err != nil {
-			return fmt.Errorf("xmlspec: in <%s>: %v", start.Name.Local, err)
+			return fmt.Errorf("xmlspec: in <%s>: %w", start.Name.Local, err)
 		}
 		switch t := tok.(type) {
 		case xml.EndElement:
@@ -634,7 +634,7 @@ func (p *parser) text(start xml.StartElement) (string, error) {
 	for {
 		tok, err := p.dec.Token()
 		if err != nil {
-			return "", fmt.Errorf("xmlspec: in <%s>: %v", start.Name.Local, err)
+			return "", fmt.Errorf("xmlspec: in <%s>: %w", start.Name.Local, err)
 		}
 		switch t := tok.(type) {
 		case xml.CharData:

@@ -33,6 +33,7 @@ import (
 	"microtools/internal/codegen"
 	"microtools/internal/core"
 	"microtools/internal/experiments"
+	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
@@ -55,6 +56,9 @@ type (
 	Kernel = isa.Program
 	// LaunchOptions is MicroLauncher's 30+ option surface.
 	LaunchOptions = launcher.Options
+	// LaunchOption is one functional setter for NewLaunchOptions; see the
+	// With* family below.
+	LaunchOption = launcher.Option
 	// Measurement is one launcher result row.
 	Measurement = launcher.Measurement
 	// Experiment is one paper figure/table reproduction.
@@ -109,6 +113,43 @@ type (
 	// MeasurementCache is the content-addressed measurement store used for
 	// campaign checkpoint/resume.
 	MeasurementCache = campaign.Cache
+
+	// --- error taxonomy ---------------------------------------------------
+	//
+	// Every structured error below composes with the standard errors
+	// package: errors.As recovers the typed record from a wrapped chain,
+	// and the Err*Fault sentinels match through errors.Is.
+
+	// CampaignError aggregates every per-variant failure of a Run /
+	// RunCampaign: callers receive the partial results plus one error
+	// naming each failed variant (Unwrap exposes the *VariantError
+	// records, so errors.Is/As see through the aggregation).
+	CampaignError = campaign.Error
+	// VariantError records one variant's launch failure (index, kernel
+	// name, cause) inside a campaign.
+	VariantError = core.VariantError
+	// LaunchErrors is the aggregate error of the lower-level LaunchAll
+	// fan-out in internal/core, re-exported because facade callers may
+	// receive it from experiment helpers.
+	LaunchErrors = core.LaunchErrors
+	// FaultError is one classified fault: either injected by a
+	// FaultInjector or a real error wrapped via TransientFault /
+	// PermanentFault. errors.As(err, &fe) recovers the injection point,
+	// site key and class.
+	FaultError = faults.Error
+	// FaultClass is a fault's retry semantics (FaultTransient /
+	// FaultPermanent).
+	FaultClass = faults.Class
+	// FaultInjector is the deterministic, seed-driven fault-injection
+	// registry armed via CampaignOptions.Faults (or directly on
+	// LaunchOptions.Faults); see NewFaultInjector.
+	FaultInjector = faults.Injector
+	// FaultSite is one (point, key) site an injector actually fired at.
+	FaultSite = faults.Site
+	// RetryPolicy bounds how a campaign re-attempts transiently failed
+	// variants (CampaignOptions.Retry): attempt budget plus deterministic
+	// seeded backoff.
+	RetryPolicy = campaign.RetryPolicy
 )
 
 // Verification modes for GenerateOptions.Verify.
@@ -127,6 +168,54 @@ const (
 	ReportCSV  = launcher.ReportCSV
 	ReportJSON = launcher.ReportJSON
 )
+
+// Fault classes for FaultInjector.SetClass and FaultError.Class.
+const (
+	// FaultTransient faults heal after the injector's burst budget; the
+	// campaign retry policy re-attempts them.
+	FaultTransient = faults.ClassTransient
+	// FaultPermanent faults never heal; retrying is futile and skipped.
+	FaultPermanent = faults.ClassPermanent
+)
+
+// Sentinel errors of the fault taxonomy, matched via errors.Is anywhere in
+// a wrapped chain:
+//
+//	errors.Is(err, microtools.ErrFaultInjected)  // injector-produced
+//	errors.Is(err, microtools.ErrFaultTransient) // retry may succeed
+//	errors.Is(err, microtools.ErrFaultPermanent) // retry is futile
+var (
+	ErrFaultInjected  = faults.ErrInjected
+	ErrFaultTransient = faults.ErrTransient
+	ErrFaultPermanent = faults.ErrPermanent
+)
+
+// NewFaultInjector returns a deterministic fault injector: whether a given
+// (point, key) site faults is a pure function of the seed, so the injected
+// fault set of a campaign is reproducible regardless of worker count. Arm
+// points with SetRate (the point "*" arms all; see FaultPoints) and attach
+// via CampaignOptions.Faults.
+func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
+
+// FaultPoints lists the built-in injection points in execution-stack
+// order: campaign worker launch, measurement-cache get/put/checkpoint I/O,
+// launcher repetition boundaries and simulator stepping.
+func FaultPoints() []string { return faults.Points() }
+
+// TransientFault wraps a real error as a transient fault: errors.Is(err,
+// ErrFaultTransient) holds and the campaign retry policy re-attempts it.
+func TransientFault(err error) error { return faults.Transient(err) }
+
+// PermanentFault wraps a real error as a permanent fault: retry is
+// skipped.
+func PermanentFault(err error) error { return faults.Permanent(err) }
+
+// IsTransientFault reports whether err is classified transient — the
+// campaign retry gate. Unclassified errors are not transient.
+func IsTransientFault(err error) bool { return faults.IsTransient(err) }
+
+// IsPermanentFault reports whether err is classified permanent.
+func IsPermanentFault(err error) bool { return faults.IsPermanent(err) }
 
 // NewTracer returns an enabled span tracer.
 func NewTracer() *Tracer { return obs.New() }
@@ -175,16 +264,30 @@ func Launch(ctx context.Context, prog *Kernel, opts LaunchOptions) (*Measurement
 	return core.Launch(ctx, prog, opts)
 }
 
-// Run chains the tools end to end: generate every variant, launch each.
+// Run chains the tools end to end: generate every variant, launch each,
+// and return the successful measurements in generation order. It is a thin
+// wrapper over RunCampaign with default options — every campaign feature
+// (workers, caching, retry/deadline budgets, fault injection) is reachable
+// by calling RunCampaign directly.
+//
+// Failed variants are isolated, not fatal: the partial measurement set is
+// returned together with a *CampaignError aggregating every failure
+// (errors.As recovers the per-variant *VariantError records).
 func Run(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions) ([]*Measurement, error) {
-	return core.Run(ctx, xml, gen, launch)
+	res, err := campaign.Run(ctx, xml, gen, campaign.Options{Launch: launch})
+	return res.Measurements(), err
 }
 
-// RunParallel is Run with the launches fanned out over a worker pool; each
-// variant runs on its own simulated machine, so results are bit-identical
-// to the serial run.
+// RunParallel is Run with an explicit worker count.
+//
+// Deprecated: the worker pool folded into the campaign engine — use
+// RunCampaign with CampaignOptions{Launch: launch, Workers: workers}
+// (or plain Run, which already fans out over GOMAXPROCS workers; results
+// are bit-identical to a serial run either way, because every variant runs
+// on its own simulated machine). RunParallel delegates to RunCampaign.
 func RunParallel(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions, workers int) ([]*Measurement, error) {
-	return core.RunParallel(ctx, xml, gen, launch, workers)
+	res, err := campaign.Run(ctx, xml, gen, campaign.Options{Launch: launch, Workers: workers})
+	return res.Measurements(), err
 }
 
 // RunCampaign streams generated variants straight into a cancellable,
@@ -204,6 +307,59 @@ func OpenMeasurementCache(path string) (*MeasurementCache, error) {
 
 // DefaultLaunchOptions returns the paper-faithful launcher defaults.
 func DefaultLaunchOptions() LaunchOptions { return launcher.DefaultOptions() }
+
+// NewLaunchOptions builds a LaunchOptions from the paper-faithful defaults
+// with the given setters applied, in order — the constructor form of
+// DefaultLaunchOptions for callers that would otherwise hand-mutate fields:
+//
+//	opts := microtools.NewLaunchOptions(
+//		microtools.WithMachine("nehalem-dual/8"),
+//		microtools.WithArrayBytes(2<<10),
+//	)
+//
+// Nil setters are skipped, so options can be assembled conditionally. The
+// LaunchOptions struct stays exported; both styles remain supported.
+func NewLaunchOptions(setters ...LaunchOption) LaunchOptions { return launcher.NewOptions(setters...) }
+
+// Functional setters for NewLaunchOptions, re-exported from the launcher
+// package and grouped as its Options sections are.
+var (
+	// Input selection.
+	WithFunction = launcher.WithFunction
+	// Machine / environment.
+	WithMode           = launcher.WithMode
+	WithMachine        = launcher.WithMachine
+	WithCoreFrequency  = launcher.WithCoreFrequency
+	WithPinCore        = launcher.WithPinCore
+	WithCores          = launcher.WithCores
+	WithSpreadSockets  = launcher.WithSpreadSockets
+	WithInterruptNoise = launcher.WithInterruptNoise
+	// Data arrays.
+	WithVectors     = launcher.WithVectors
+	WithArrayBytes  = launcher.WithArrayBytes
+	WithAlignments  = launcher.WithAlignments
+	WithAlignWindow = launcher.WithAlignWindow
+	// Measurement protocol.
+	WithTrip             = launcher.WithTrip
+	WithExactTrip        = launcher.WithExactTrip
+	WithElementBytes     = launcher.WithElementBytes
+	WithReps             = launcher.WithReps
+	WithWarmup           = launcher.WithWarmup
+	WithCalibration      = launcher.WithCalibration
+	WithStatistic        = launcher.WithStatistic
+	WithMaxInstructions  = launcher.WithMaxInstructions
+	WithOMPOverheadScale = launcher.WithOMPOverheadScale
+	WithOMPDynamic       = launcher.WithOMPDynamic
+	// Output / observability.
+	WithTimeUnit  = launcher.WithTimeUnit
+	WithEnergy    = launcher.WithEnergy
+	WithWholeCall = launcher.WithWholeCall
+	WithVerbose   = launcher.WithVerbose
+	WithTracer    = launcher.WithTracer
+	WithCounters  = launcher.WithCounters
+	// Resilience.
+	WithFaults = launcher.WithFaults
+)
 
 // WriteMeasurementsCSV renders measurements as the launcher's CSV output
 // (§4.3).
