@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench fuzz-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
-# the project-invariant linter, build and the full test suite under the race
-# detector.
-ci: fmt-check vet lint build race
+# the project-invariant linter, build, the full test suite under the race
+# detector, and a single-iteration pass of the hot-path benchmarks so they
+# cannot rot between perf-focused PRs.
+ci: fmt-check vet lint build race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +39,23 @@ fmt-check:
 # cold-vs-warm cache comparison (root bench_test.go).
 bench:
 	$(GO) test -bench . -benchmem .
+
+# HOT_BENCHES are the simulator hot-path benchmarks whose numbers this repo
+# tracks in BENCH_sim.json (see README): one repetition, the full launcher
+# protocol, and a campaign sweep.
+HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkCampaignSweep)$$
+
+# bench-smoke compiles and runs each hot-path benchmark exactly once — a CI
+# guard that they keep working, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench '$(HOT_BENCHES)' -benchtime=1x -benchmem .
+
+# bench-json measures the hot-path benchmarks and merges the numbers into
+# BENCH_sim.json under LABEL (default: local).
+LABEL ?= local
+bench-json:
+	$(GO) test -run='^$$' -bench '$(HOT_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -label '$(LABEL)' -o BENCH_sim.json
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch a
 # regression in the parsers' error paths without stalling CI.

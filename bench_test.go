@@ -563,6 +563,105 @@ func BenchmarkLaunchCounters(b *testing.B) {
 	}
 }
 
+// ---- hot-path simulator benchmarks (the BENCH_sim.json trajectory) ---------
+//
+// These three benchmarks are the repository's performance gate for the
+// measurement loop itself (make bench-json): the single-repetition simulator
+// path, the full launcher protocol, and a whole campaign sweep. They are
+// pprof-friendly (one op = one unit of real work, no per-op setup) and run
+// with -benchmem so allocation regressions fail review.
+
+// BenchmarkRunOne measures the simulate-one-repetition path: the same kernel
+// re-launched on the same machine, which is exactly the unit of work the
+// launcher's inner/outer repetition loops spend. After the first launch the
+// decode cache and core pool are warm, so repeat launches must be 0
+// allocs/op.
+func BenchmarkRunOne(b *testing.B) {
+	desc, err := machine.ByName("nehalem-dual/8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := sim.New(desc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := buildLoadKernel(b, 4)
+	var rf isa.RegFile
+	rf.Set(isa.RDI, 16*64-1)
+	rf.Set(isa.RSI, 0x100000)
+	job := sim.Job{Core: 0, Prog: prog, Regs: rf}
+	// Warm launch: decode the program and populate the core pool.
+	if _, err := mach.RunOne(job); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		r, err := mach.RunOne(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkLauncherProtocol measures one full launch protocol (warm-up,
+// calibration, outer×inner repetitions) of a small streaming kernel on a
+// reused machine. The trip count is deliberately tiny so per-repetition
+// overhead — not simulated kernel work — dominates: this is the fixed cost
+// every variant of a sweep pays.
+func BenchmarkLauncherProtocol(b *testing.B) {
+	desc, err := machine.ByName("nehalem-dual/8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := sim.New(desc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.ParseOne(obsKernel, "k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := launcher.DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 1 << 10
+	opts.TripElements = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := launcher.LaunchOn(context.Background(), mach, prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSweep measures a full cold sweep of the paper's
+// 510-variant family: generate, verify and measure every variant, no cache.
+// This is the end-to-end number a campaign's wall-clock scales from.
+func BenchmarkCampaignSweep(b *testing.B) {
+	spec := fig6Spec()
+	launch := DefaultLaunchOptions()
+	launch.MachineName = "nehalem-dual/8"
+	launch.ArrayBytes = 1 << 12
+	launch.InnerReps = 1
+	launch.OuterReps = 1
+	launch.MaxInstructions = 2_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunCampaign(context.Background(), strings.NewReader(spec), GenerateOptions{},
+			CampaignOptions{Launch: launch, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Launches != 510 {
+			b.Fatalf("sweep launched %d variants, want 510", res.Launches)
+		}
+	}
+}
+
 // BenchmarkCampaign compares a cold campaign (every variant generated,
 // launched and cached) against a cache-warm re-run of the identical
 // campaign (every variant served from the content-addressed store, zero

@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into the repository's benchmark trajectory file (BENCH_sim.json, written
+// by make bench-json). Each invocation parses one benchmark run and merges
+// it into the output file under a label, so the file accumulates a
+// before/after history across PRs:
+//
+//	go test -bench 'RunOne' -benchmem . | go run ./cmd/benchjson -label pre -o BENCH_sim.json
+//
+// The file schema is:
+//
+//	{
+//	  "schema": "microtools-bench/v1",
+//	  "entries": [
+//	    {
+//	      "label": "pre-PR5",
+//	      "benchmarks": {
+//	        "BenchmarkRunOne": {
+//	          "iterations": 27570,
+//	          "metrics": {"ns/op": 43557, "B/op": 3272, "allocs/op": 18}
+//	        }
+//	      }
+//	    }
+//	  ]
+//	}
+//
+// Benchmark names are stored without the -GOMAXPROCS suffix; custom
+// testing.B metrics (insts/s, ...) appear alongside the standard ones.
+// Re-running with an existing label replaces that entry in place.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+const schema = "microtools-bench/v1"
+
+// Bench is one benchmark's parsed result line.
+type Bench struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Entry is one labeled benchmark run.
+type Entry struct {
+	Label      string           `json:"label"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// File is the trajectory file as a whole.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// A result line looks like:
+//
+//	BenchmarkRunOne-8   27570   43557 ns/op   366.9 insts/s   3272 B/op   18 allocs/op
+func parse(r io.Reader) (map[string]Bench, error) {
+	out := map[string]Bench{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." line that is not a result row
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		b := Bench{Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value / unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], sc.Text())
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// merge replaces or appends the labeled entry.
+func merge(f *File, e Entry) {
+	for i := range f.Entries {
+		if f.Entries[i].Label == e.Label {
+			f.Entries[i] = e
+			return
+		}
+	}
+	f.Entries = append(f.Entries, e)
+}
+
+func run(label, path string, in io.Reader) error {
+	if label == "" {
+		return fmt.Errorf("benchjson: -label is required")
+	}
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines on stdin")
+	}
+	f := &File{Schema: schema}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, f); err != nil {
+			return fmt.Errorf("benchjson: %s: %w", path, err)
+		}
+		if f.Schema != schema {
+			return fmt.Errorf("benchjson: %s has schema %q, want %q", path, f.Schema, schema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merge(f, Entry{Label: label, Benchmarks: benches})
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	label := flag.String("label", "", "label for this benchmark run (required)")
+	out := flag.String("o", "BENCH_sim.json", "trajectory file to merge into")
+	flag.Parse()
+	if err := run(*label, *out, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: microtools
+BenchmarkRunOne-8        	   27570	     43557 ns/op	       366.9 insts/s	    3272 B/op	      18 allocs/op
+BenchmarkLauncherProtocol-8	   23178	     51843 ns/op	   58883 B/op	     290 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := got["BenchmarkRunOne"]
+	if !ok {
+		t.Fatalf("BenchmarkRunOne missing (got %v)", got)
+	}
+	if b.Iterations != 27570 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 43557, "insts/s": 366.9, "B/op": 3272, "allocs/op": 18,
+	} {
+		if b.Metrics[unit] != want {
+			t.Errorf("%s = %v, want %v", unit, b.Metrics[unit], want)
+		}
+	}
+	if _, ok := got["BenchmarkLauncherProtocol"]; !ok {
+		t.Error("BenchmarkLauncherProtocol missing")
+	}
+}
+
+func TestRunMergesByLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("pre", path, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("post", path, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a label replaces the entry rather than duplicating it.
+	if err := run("post", path, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != schema {
+		t.Errorf("schema = %q", f.Schema)
+	}
+	if len(f.Entries) != 2 || f.Entries[0].Label != "pre" || f.Entries[1].Label != "post" {
+		t.Errorf("entries = %+v", f.Entries)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("pre", path, strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run("", path, strings.NewReader(sample)); err == nil {
+		t.Error("missing label accepted")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"microtools/internal/faults"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
+	"microtools/internal/machine"
 	"microtools/internal/obs"
 )
 
@@ -362,6 +363,16 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		}
 	}
 
+	// Resolve the launch machine's decode signature once: pre-decoding each
+	// variant against it (below, in measure) warms the program's µop cache
+	// so every launch attempt — first try, cache-miss relaunch, or retry —
+	// shares one decode instead of redoing it per attempt. A resolution
+	// error is left for the launch itself to surface.
+	var decodeArch *isa.Arch
+	if desc, err := machine.ByName(opts.Launch.MachineName); err == nil {
+		decodeArch = desc.Arch
+	}
+
 	// attempt runs one launch try, consulting the worker-launch injection
 	// point first; an injected fault there models the worker dying before
 	// the launcher even starts.
@@ -406,6 +417,13 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			} else {
 				sp.Str("cache_key_error", err.Error())
 			}
+		}
+
+		// Warm the kernel's µop decode cache before the first attempt.
+		// Best-effort: a decode error is not cached, so a broken kernel
+		// still fails inside the launch with its usual error path.
+		if decodeArch != nil {
+			_, _ = kernel.Decoded(decodeArch)
 		}
 
 		// The variant's deadline covers every attempt, retries and backoff

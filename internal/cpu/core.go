@@ -73,7 +73,7 @@ type Core struct {
 	mem  MemSystem
 
 	prog    *isa.Program
-	decoded [][]isa.Uop
+	decoded *isa.DecodedProgram
 	regs    isa.RegFile
 
 	pc   int
@@ -129,19 +129,18 @@ func (c *Core) ID() int { return c.id }
 
 // Reset loads a program and initial register state, starting the pipeline
 // at startCycle. maxInsts bounds dynamic instructions (0 = unlimited).
+//
+// Validation and µop decode go through the program's decode cache
+// (isa.Program.Decoded), so repeat launches of the same kernel — the
+// launcher's repetition loops, a campaign's retries — pay them exactly once.
+// Reset itself is allocation-free once the core's buffers fit the program.
 func (c *Core) Reset(prog *isa.Program, regs *isa.RegFile, startCycle int64, maxInsts int64) error {
-	if err := prog.Validate(); err != nil {
-		return err
+	dp, err := prog.Decoded(c.arch)
+	if err != nil {
+		return fmt.Errorf("cpu: %w", err)
 	}
 	c.prog = prog
-	c.decoded = make([][]isa.Uop, len(prog.Insts))
-	for i := range prog.Insts {
-		uops, err := c.arch.Decode(&prog.Insts[i], nil)
-		if err != nil {
-			return fmt.Errorf("cpu: %w", err)
-		}
-		c.decoded[i] = uops
-	}
+	c.decoded = dp
 	c.regs = *regs
 	c.pc = 0
 	c.done = false
@@ -171,16 +170,11 @@ func (c *Core) Reset(prog *isa.Program, regs *isa.RegFile, startCycle int64, max
 		c.storeBuf[i] = startCycle
 	}
 	c.loadIdx, c.storeIdx = 0, 0
-	c.predCtr = make([]uint8, len(prog.Insts))
-	for i := range prog.Insts {
-		in := &prog.Insts[i]
-		// Static prediction: backward taken (loops), forward not-taken.
-		if in.Op.IsBranch() && in.Target >= 0 && in.Target <= i {
-			c.predCtr[i] = 2
-		} else {
-			c.predCtr[i] = 1
-		}
+	if cap(c.predCtr) < len(prog.Insts) {
+		c.predCtr = make([]uint8, len(prog.Insts))
 	}
+	c.predCtr = c.predCtr[:len(prog.Insts)]
+	copy(c.predCtr, dp.PredInit)
 	c.slotsSinceTaken = 0
 	c.maxCompletion = startCycle
 	c.dynInsts = 0
@@ -308,53 +302,45 @@ func (c *Core) note(completion int64) {
 	}
 }
 
-// srcReady returns the cycle all source operands of inst are available.
-// For the address part only (loads/stores), pass addrOnly.
-func (c *Core) srcReady(inst *isa.Inst, addrOnly bool) int64 {
+// addrReady returns the cycle the address-generation sources are available.
+func (c *Core) addrReady(info *isa.InstInfo) int64 {
 	ready := int64(0)
-	consider := func(r isa.Reg) {
+	for _, r := range info.AddrRegs {
 		if r != isa.NoReg && c.regReady[r] > ready {
 			ready = c.regReady[r]
 		}
 	}
-	if mem, _, ok := inst.MemOperand(); ok {
-		consider(mem.Base)
-		consider(mem.Index)
-		if addrOnly {
-			return ready
+	return ready
+}
+
+// srcReady returns the cycle all source operands are available: address
+// registers, data-source registers and (for flag readers) the flags.
+func (c *Core) srcReady(info *isa.InstInfo) int64 {
+	ready := c.addrReady(info)
+	for _, r := range info.SrcRegs[:info.NSrc] {
+		if c.regReady[r] > ready {
+			ready = c.regReady[r]
 		}
-	} else if addrOnly {
-		return ready
 	}
-	for i := 0; i < inst.NOps; i++ {
-		o := inst.Operand(i)
-		if o.Kind != isa.RegOperand {
-			continue
-		}
-		// The destination register of a pure move is write-only; for
-		// read-modify ops (add, mulsd, ...) it is also a source.
-		if i == inst.NOps-1 && inst.Op.IsMove() {
-			continue
-		}
-		consider(o.Reg)
-	}
-	if inst.Op.ReadsFlags() && c.flagReady > ready {
+	if info.ReadsFlags && c.flagReady > ready {
 		ready = c.flagReady
 	}
 	return ready
 }
 
-// stepInst schedules and functionally executes one dynamic instruction.
+// stepInst schedules and functionally executes one dynamic instruction. The
+// static facts about the instruction (memory operand, sources, class) come
+// precomputed from the decode cache; this loop only does per-dynamic work.
 func (c *Core) stepInst() error {
 	inst := &c.prog.Insts[c.pc]
-	uops := c.decoded[c.pc]
-	mem, _, hasMem := inst.MemOperand()
+	uops := c.decoded.Uops[c.pc]
+	info := &c.decoded.Info[c.pc]
 
 	var addr uint64
 	var width int
-	if hasMem {
-		addr = mem.EffectiveAddress(&c.regs)
-		width = inst.Op.MemWidth()
+	if info.HasMem {
+		addr = info.Mem.EffectiveAddress(&c.regs)
+		width = info.MemWidth
 	}
 
 	var loadReady int64 // when loaded data is available
@@ -365,23 +351,21 @@ func (c *Core) stepInst() error {
 		slot := c.issueSlot(u.Fused)
 		var ready int64
 		switch u.Role {
-		case isa.RoleLoad:
-			ready = c.srcReady(inst, true)
-		case isa.RoleStoreAddr:
-			ready = c.srcReady(inst, true)
+		case isa.RoleLoad, isa.RoleStoreAddr:
+			ready = c.addrReady(info)
 		case isa.RoleStoreData:
 			// Needs the stored register value.
-			if inst.A.Kind == isa.RegOperand && c.regReady[inst.A.Reg] > ready {
-				ready = c.regReady[inst.A.Reg]
+			if r := info.StoreDataReg; r != isa.NoReg && c.regReady[r] > ready {
+				ready = c.regReady[r]
 			}
 		case isa.RoleCompute:
-			ready = c.srcReady(inst, false)
+			ready = c.srcReady(info)
 			if u.Fused && loadReady > ready {
 				// Micro-fused load+op: compute waits for the load.
 				ready = loadReady
 			}
 		case isa.RoleBranch:
-			ready = c.srcReady(inst, false)
+			ready = c.srcReady(info)
 		}
 		if slot > ready {
 			ready = slot
@@ -426,17 +410,14 @@ func (c *Core) stepInst() error {
 	}
 
 	// Writeback: destination readiness.
-	if inst.NOps > 0 {
-		dst := inst.Dst()
-		if dst.Kind == isa.RegOperand {
-			when := lastCompletion
-			if inst.IsLoad() && loadReady > 0 && len(uops) == 1 {
-				when = loadReady
-			}
-			c.regReady[dst.Reg] = when
+	if info.DstReg != isa.NoReg {
+		when := lastCompletion
+		if info.Load && loadReady > 0 && len(uops) == 1 {
+			when = loadReady
 		}
+		c.regReady[info.DstReg] = when
 	}
-	if inst.Op.WritesFlags() {
+	if info.WritesFlags {
 		c.flagReady = lastCompletion
 	}
 
@@ -447,20 +428,20 @@ func (c *Core) stepInst() error {
 	}
 	c.dynInsts++
 	switch {
-	case inst.IsLoad():
+	case info.Load:
 		c.mix.Loads++
-	case inst.IsStore():
+	case info.Store:
 		c.mix.Stores++
 	}
-	switch {
-	case inst.Op.IsBranch():
+	switch info.Class {
+	case isa.ClassBranch:
 		c.mix.Branches++
-	case inst.Op.IsSSE() && !inst.Op.IsMove():
+	case isa.ClassSSE:
 		c.mix.SSEArith++
-	case !inst.Op.IsSSE() && inst.Op != isa.RET && inst.Op != isa.NOP:
+	case isa.ClassALU:
 		c.mix.IntALU++
 	}
-	if inst.Op.IsCondBranch() {
+	if info.CondBranch {
 		predicted := c.predCtr[c.pc] >= 2
 		if taken != predicted {
 			// Mispredict: refill after resolution.
@@ -481,7 +462,7 @@ func (c *Core) stepInst() error {
 			c.predCtr[c.pc]--
 		}
 	}
-	if taken && inst.Op.IsBranch() {
+	if taken && info.Branch {
 		// Loops small enough for the loop-stream detector replay
 		// seamlessly: the frontend keeps issuing across the back edge.
 		// Larger bodies end the issue group and pay the fetch redirect.

@@ -487,3 +487,60 @@ func (m slowDrainMem) Load(_ int, _ uint64, _ int, issue int64) int64 { return i
 func (m slowDrainMem) Store(_ int, _ uint64, _ int, issue int64) int64 {
 	return issue + m.drain
 }
+
+// TestResetReuseMatchesFreshCore is the pooling invariant: a core that
+// already ran other programs and is Reset for a new one must report exactly
+// the result a brand-new core produces. sim.Machine keeps one core per
+// hardware core id alive across launches and relies on this.
+func TestResetReuseMatchesFreshCore(t *testing.T) {
+	arch := isa.Nehalem()
+	mem := fixedMem{lat: 4}
+	parse := func(src, name string) *isa.Program {
+		p, err := asm.ParseOne(src, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	runOn := func(c *Core, p *isa.Program, n uint64, start int64) Result {
+		var rf isa.RegFile
+		rf.Set(isa.RDI, n)
+		rf.Set(isa.RSI, 0x100000)
+		if err := c.Reset(p, &rf, start, 0); err != nil {
+			t.Fatal(err)
+		}
+		done, err := c.Step(math.MaxInt64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !done {
+			t.Fatal("program did not finish")
+		}
+		return c.Result()
+	}
+
+	target := parse(loadKernel(4), "target")
+	warm := parse(mixedKernel(8), "warm")
+
+	fresh := runOn(NewCore(0, arch, mem), target, 16*500-1, 0)
+
+	reused := NewCore(0, arch, mem)
+	// Dirty every piece of pooled state: a different program (different
+	// size, different branch history), twice, at nonzero start cycles.
+	runOn(reused, warm, 32*300-1, 1000)
+	runOn(reused, warm, 32*10-1, 1<<20)
+	if got := runOn(reused, target, 16*500-1, 0); got != fresh {
+		t.Errorf("reused core result %+v differs from fresh core %+v", got, fresh)
+	}
+}
+
+// TestResetSurfacesDecodeErrors: Reset now validates and decodes through the
+// program's cache; broken programs must still fail at Reset time.
+func TestResetSurfacesDecodeErrors(t *testing.T) {
+	c := NewCore(0, isa.Nehalem(), fixedMem{lat: 4})
+	var rf isa.RegFile
+	bad := &isa.Program{Name: "empty", Labels: map[string]int{}}
+	if err := c.Reset(bad, &rf, 0, 0); err == nil {
+		t.Error("Reset accepted an invalid program")
+	}
+}

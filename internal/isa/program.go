@@ -86,6 +86,10 @@ type Program struct {
 	Name   string
 	Insts  []Inst
 	Labels map[string]int
+
+	// dcache memoizes the per-microarchitecture µop decode (see Decoded).
+	// Lazily filled, safe for concurrent use; Clone starts empty.
+	dcache decodeCache
 }
 
 // Clone returns a deep copy of the program.

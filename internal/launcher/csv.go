@@ -24,11 +24,13 @@ func WriteCSV(w io.Writer, ms []*Measurement) error {
 	}
 	// NaN/Inf (e.g. cv of an all-zero sample set) render as empty cells:
 	// literal "NaN" breaks downstream CSV consumers that parse numerics.
+	// Precision -1 emits the shortest representation that round-trips, so
+	// rows neither lose digits nor carry float noise.
 	f := func(v float64) string {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return ""
 		}
-		return strconv.FormatFloat(v, 'g', 8, 64)
+		return strconv.FormatFloat(v, 'g', -1, 64)
 	}
 	for _, m := range ms {
 		row := []string{

@@ -3,6 +3,7 @@ package launcher
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"microtools/internal/cpu"
 	"microtools/internal/faults"
@@ -78,9 +79,10 @@ func NumArraysOf(p *isa.Program) int {
 	return n
 }
 
-// calibrationProgram is the "empty benchmark" used to measure call
-// overhead.
-func calibrationProgram() *isa.Program {
+// calibrationProgram returns the "empty benchmark" used to measure call
+// overhead. One shared instance serves every launch so its µop decode is
+// cached once per decode signature rather than redone per Launch call.
+var calibrationProgram = sync.OnceValue(func() *isa.Program {
 	p := &isa.Program{
 		Name: "__calibrate",
 		Insts: []isa.Inst{
@@ -93,7 +95,7 @@ func calibrationProgram() *isa.Program {
 		panic(err)
 	}
 	return p
-}
+})
 
 // pinOrder returns the core ids fork processes are pinned to. With socket
 // spreading, processes round-robin across sockets (the typical HPC layout
@@ -146,7 +148,9 @@ func Launch(ctx context.Context, prog *isa.Program, opts Options) (*Measurement,
 		}
 	}
 	if !opts.DisableInterrupts {
-		mach.SetNoise(sim.DefaultNoise(opts.NoiseSeed))
+		if err := mach.SetNoise(sim.DefaultNoise(opts.NoiseSeed)); err != nil {
+			return nil, err
+		}
 	}
 	return launchOn(ctx, mach, prog, opts)
 }
@@ -310,6 +314,11 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	var totalCycles float64
 	var pipe obs.Counters // pipeline-counter aggregate over measured jobs
 
+	// One job batch and result scratch per launch, refilled every inner
+	// repetition: the measured loop itself allocates nothing per call.
+	jobs := make([]sim.Job, len(pins))
+	resScratch := make([]sim.JobResult, 0, 1)
+
 	for rep := 0; rep < opts.OuterReps; rep++ {
 		if err := ctxErr(ctx); err != nil {
 			msp.Str("error", err.Error()).End()
@@ -331,7 +340,6 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 				if err := ctxErr(ctx); err != nil {
 					return nil, err
 				}
-				jobs := make([]sim.Job, len(pins))
 				for i, core := range pins {
 					jobs[i] = sim.Job{
 						Core:     core,
@@ -340,9 +348,21 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 						MaxInsts: opts.MaxInstructions,
 					}
 				}
-				rs, err := mach.Run(jobs)
-				if err != nil {
-					return nil, err
+				var rs []sim.JobResult
+				if len(pins) == 1 {
+					// Single-core repetitions ride the machine's
+					// allocation-free RunOne fast path.
+					r, err := mach.RunOne(jobs[0])
+					if err != nil {
+						return nil, err
+					}
+					rs = append(resScratch[:0], r)
+				} else {
+					var err error
+					rs, err = mach.Run(jobs)
+					if err != nil {
+						return nil, err
+					}
 				}
 				// Average across processes (Fig. 14 reports average
 				// cycles per iteration across the forked cores).

@@ -228,7 +228,9 @@ func TestDynamicRebalancesAroundNoise(t *testing.T) {
 		noise.IntervalCycles = 60_000 // rare...
 		noise.CostCycles = 150_000    // ...but long stalls
 		noise.CacheDisturbFraction = 0
-		m.SetNoise(noise)
+		if err := m.SetNoise(noise); err != nil {
+			t.Fatal(err)
+		}
 		cfg := DefaultConfig(4)
 		cfg.StaticChunking = static
 		cfg.ChunkElements = 2048

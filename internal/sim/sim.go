@@ -75,6 +75,23 @@ type Machine struct {
 	// successive runs all advance it, so shared memory-system timestamps
 	// (MSHRs, channel queues) never sit in a job's future.
 	now int64
+
+	// pool holds one reusable cpu.Core per hardware core id, created
+	// lazily. Run/RunStream Reset pooled cores instead of allocating
+	// fresh ones, so the per-repetition simulate path is allocation-free
+	// after the first launch of a kernel (see DESIGN.md, Performance).
+	// Reset reinitializes every piece of core state, so no timing or
+	// architectural state leaks between launches.
+	pool []*cpu.Core
+	// seen is the duplicate-pin scratch, sized Desc.Cores.
+	seen []bool
+	// Scratch slices reused across Run/RunStream calls (a Machine is not
+	// safe for concurrent use; its shared memory system never was).
+	runIRQ    []int64
+	runCores  []*cpu.Core
+	runDone   []bool
+	runActive []bool
+	runPins   []int
 }
 
 // New instantiates the machine at its nominal frequency with noise off.
@@ -86,12 +103,29 @@ func New(desc *machine.Machine) (*Machine, error) {
 	return &Machine{Desc: desc, Sys: sys, coreGHz: desc.CoreGHz}, nil
 }
 
-// SetNoise configures the environmental noise sources.
-func (m *Machine) SetNoise(cfg NoiseConfig) {
-	m.noise = cfg
+// SetNoise configures the environmental noise sources. An enabled
+// configuration is validated — the interrupt interval must be positive (it
+// seeds rand.Int63n inside Run/RunStream), the per-interrupt cost
+// non-negative, and the cache disturb fraction within [0, 1] — so a
+// malformed caller-constructed NoiseConfig fails here instead of panicking
+// mid-measurement. On error the machine's previous noise state is kept.
+func (m *Machine) SetNoise(cfg NoiseConfig) error {
 	if cfg.Enabled {
+		if cfg.IntervalCycles <= 0 {
+			return fmt.Errorf("sim: noise interval must be positive (got %d)", cfg.IntervalCycles)
+		}
+		if cfg.CostCycles < 0 {
+			return fmt.Errorf("sim: noise cost must be non-negative (got %d)", cfg.CostCycles)
+		}
+		if cfg.CacheDisturbFraction < 0 || cfg.CacheDisturbFraction > 1 {
+			return fmt.Errorf("sim: cache disturb fraction %g outside [0, 1]", cfg.CacheDisturbFraction)
+		}
 		m.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		m.rng = nil
 	}
+	m.noise = cfg
+	return nil
 }
 
 // Noise returns the current noise configuration.
@@ -195,11 +229,53 @@ type JobResult struct {
 	EndCycle int64
 }
 
+// core returns the pooled cpu.Core for a hardware core id, creating it on
+// first use. Pooled cores are fully reinitialized by Reset, so reuse across
+// Run/RunStream calls cannot leak state between launches.
+func (m *Machine) core(id int) *cpu.Core {
+	if m.pool == nil {
+		m.pool = make([]*cpu.Core, m.Desc.Cores)
+	}
+	c := m.pool[id]
+	if c == nil {
+		c = cpu.NewCore(id, m.Desc.Arch, m.Sys)
+		m.pool[id] = c
+	}
+	return c
+}
+
+// claimPin marks a hardware core as taken for the current call and reports
+// whether it was already claimed. The scratch is cleared by resetPins.
+func (m *Machine) claimPin(core int) bool {
+	if m.seen == nil {
+		m.seen = make([]bool, m.Desc.Cores)
+	}
+	if m.seen[core] {
+		return false
+	}
+	m.seen[core] = true
+	return true
+}
+
+func (m *Machine) resetPins() {
+	for i := range m.seen {
+		m.seen[i] = false
+	}
+}
+
 // Run executes the jobs concurrently in lock-step quanta and returns their
 // results in job order. Jobs on the same core are rejected.
 func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sim: no jobs")
+	}
+	// Fast path: a single quiet job needs no lock-step windowing.
+	if len(jobs) == 1 && !m.noise.Enabled {
+		r, err := m.RunOne(jobs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []JobResult{r}, nil
 	}
 	if err := m.checkFault(jobs[0].Prog); err != nil {
 		return nil, err
@@ -209,20 +285,24 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 		startCycle := m.now
 		defer func() { sp.Cycles(startCycle, m.now).End() }()
 	}
-	seen := map[int]bool{}
-	cores := make([]*cpu.Core, len(jobs))
-	nextIRQ := make([]int64, len(jobs))
+	m.resetPins()
+	if cap(m.runCores) < len(jobs) {
+		m.runCores = make([]*cpu.Core, len(jobs))
+		m.runIRQ = make([]int64, len(jobs))
+		m.runDone = make([]bool, len(jobs))
+	}
+	cores := m.runCores[:len(jobs)]
+	nextIRQ := m.runIRQ[:len(jobs)]
 	for i := range jobs {
 		j := &jobs[i]
 		if j.Core < 0 || j.Core >= m.Desc.Cores {
 			return nil, fmt.Errorf("sim: job %d pinned to core %d of %d", i, j.Core, m.Desc.Cores)
 		}
-		if seen[j.Core] {
+		if !m.claimPin(j.Core) {
 			return nil, fmt.Errorf("sim: two jobs pinned to core %d", j.Core)
 		}
-		seen[j.Core] = true
 		start := m.now + j.StartCycle
-		cores[i] = cpu.NewCore(j.Core, m.Desc.Arch, m.Sys)
+		cores[i] = m.core(j.Core)
 		if err := cores[i].Reset(j.Prog, &j.Regs, start, j.MaxInsts); err != nil {
 			return nil, err
 		}
@@ -233,25 +313,15 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 	}
 
 	results := make([]JobResult, len(jobs))
-
-	// Fast path: a single quiet job needs no lock-step windowing.
-	if len(jobs) == 1 && !m.noise.Enabled {
-		c := cores[0]
-		if _, err := c.Step(math.MaxInt64); err != nil {
-			return nil, fmt.Errorf("sim: job 0: %w", err)
-		}
-		results[0] = JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
-		if c.Cycle() > m.now {
-			m.now = c.Cycle()
-		}
-		return results, nil
+	finished := m.runDone[:len(jobs)]
+	for i := range finished {
+		finished[i] = false
 	}
-
-	finished := make([]bool, len(jobs))
 	remaining := len(jobs)
 	limit := m.now + quantum
 	for remaining > 0 {
 		progressed := false
+		minFront := int64(math.MaxInt64)
 		for i, c := range cores {
 			if finished[i] {
 				continue
@@ -262,6 +332,7 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 				nextIRQ[i] = c.Cycle() + m.noise.IntervalCycles/2 +
 					m.rng.Int63n(m.noise.IntervalCycles)
 			}
+			before := c.Cycle()
 			done, err := c.Step(limit)
 			if err != nil {
 				return nil, fmt.Errorf("sim: job %d: %w", i, err)
@@ -277,11 +348,28 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 				if c.Cycle() > m.now {
 					m.now = c.Cycle()
 				}
+				progressed = true
+				continue
 			}
-			progressed = true
+			if c.Cycle() != before {
+				progressed = true
+			}
+			if c.Cycle() < minFront {
+				minFront = c.Cycle()
+			}
 		}
 		if !progressed {
-			return nil, fmt.Errorf("sim: scheduler made no progress")
+			if minFront < limit || minFront == math.MaxInt64 {
+				// A core was allowed to run below the window limit and
+				// still neither advanced nor finished: stepping is stuck.
+				return nil, fmt.Errorf("sim: scheduler made no progress")
+			}
+			// Every unfinished core is waiting for the window to catch up
+			// (staggered starts): jump the limit instead of spinning one
+			// empty quantum at a time. Bit-identical to incremental growth
+			// — no core, noise or memory event can fire in the skipped
+			// windows.
+			limit = minFront
 		}
 		limit += quantum
 		if limit < 0 {
@@ -291,13 +379,42 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 	return results, nil
 }
 
-// RunOne is Run for a single job.
+// RunOne is Run for a single job. A quiet (noise-free) job runs on the
+// machine's pooled core without any per-call allocation — this is the
+// launcher's per-repetition unit of work (BenchmarkRunOne gates it at 0
+// allocs/op).
 func (m *Machine) RunOne(job Job) (JobResult, error) {
-	res, err := m.Run([]Job{job})
-	if err != nil {
+	if m.noise.Enabled {
+		// Noisy runs need the lock-step IRQ windowing of the general path.
+		res, err := m.Run([]Job{job})
+		if err != nil {
+			return JobResult{}, err
+		}
+		return res[0], nil
+	}
+	if err := m.checkFault(job.Prog); err != nil {
 		return JobResult{}, err
 	}
-	return res[0], nil
+	if m.span.Active() {
+		sp := m.span.Child("sim.run").Int("jobs", 1)
+		startCycle := m.now
+		defer func() { sp.Cycles(startCycle, m.now).End() }()
+	}
+	if job.Core < 0 || job.Core >= m.Desc.Cores {
+		return JobResult{}, fmt.Errorf("sim: job 0 pinned to core %d of %d", job.Core, m.Desc.Cores)
+	}
+	c := m.core(job.Core)
+	if err := c.Reset(job.Prog, &job.Regs, m.now+job.StartCycle, job.MaxInsts); err != nil {
+		return JobResult{}, err
+	}
+	if _, err := c.Step(math.MaxInt64); err != nil {
+		return JobResult{}, fmt.Errorf("sim: job 0: %w", err)
+	}
+	res := JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
+	if res.EndCycle > m.now {
+		m.now = res.EndCycle
+	}
+	return res, nil
 }
 
 // MaxInt64 re-exported for callers building open-ended Steps.
@@ -327,23 +444,31 @@ func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job
 		startCycle := m.now
 		defer func() { sp.Cycles(startCycle, m.now).End() }()
 	}
-	cores := make([]*cpu.Core, len(initial))
-	nextIRQ := make([]int64, len(initial))
-	active := make([]bool, len(initial))
-	pinned := make([]int, len(initial))
-	seen := map[int]bool{}
+	m.resetPins()
+	if cap(m.runCores) < len(initial) {
+		m.runCores = make([]*cpu.Core, len(initial))
+		m.runIRQ = make([]int64, len(initial))
+		m.runDone = make([]bool, len(initial))
+	}
+	if cap(m.runActive) < len(initial) {
+		m.runActive = make([]bool, len(initial))
+		m.runPins = make([]int, len(initial))
+	}
+	cores := m.runCores[:len(initial)]
+	nextIRQ := m.runIRQ[:len(initial)]
+	active := m.runActive[:len(initial)]
+	pinned := m.runPins[:len(initial)]
 	for i := range initial {
 		j := initial[i]
 		if j.Core < 0 || j.Core >= m.Desc.Cores {
 			return nil, fmt.Errorf("sim: slot %d pinned to core %d of %d", i, j.Core, m.Desc.Cores)
 		}
-		if seen[j.Core] {
+		if !m.claimPin(j.Core) {
 			return nil, fmt.Errorf("sim: two slots pinned to core %d", j.Core)
 		}
-		seen[j.Core] = true
 		pinned[i] = j.Core
 		start := m.now + j.StartCycle
-		cores[i] = cpu.NewCore(j.Core, m.Desc.Arch, m.Sys)
+		cores[i] = m.core(j.Core)
 		if err := cores[i].Reset(j.Prog, &j.Regs, start, j.MaxInsts); err != nil {
 			return nil, err
 		}
@@ -357,6 +482,7 @@ func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job
 	remaining := len(initial)
 	limit := m.now + quantum
 	for remaining > 0 {
+		progressed := false
 		for i, c := range cores {
 			if !active[i] {
 				continue
@@ -366,13 +492,18 @@ func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job
 				m.Sys.DisturbCore(pinned[i], m.rng, m.noise.CacheDisturbFraction)
 				nextIRQ[i] = c.Cycle() + m.noise.IntervalCycles/2 + m.rng.Int63n(m.noise.IntervalCycles)
 			}
+			before := c.Cycle()
 			done, err := c.Step(limit)
 			if err != nil {
 				return nil, fmt.Errorf("sim: slot %d: %w", i, err)
 			}
 			if !done {
+				if c.Cycle() != before {
+					progressed = true
+				}
 				continue
 			}
+			progressed = true
 			res := JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
 			results = append(results, StreamResult{Slot: i, JobResult: res})
 			if res.EndCycle > m.now {
@@ -391,6 +522,25 @@ func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job
 			if err := c.Reset(nj.Prog, &nj.Regs, start, nj.MaxInsts); err != nil {
 				return nil, err
 			}
+		}
+		if !progressed {
+			// Same guard as Run: distinguish "every live slot is waiting for
+			// the lock-step window to reach its frontier" (fast-forward the
+			// window — bit-identical, since no slot steps or stalls in the
+			// skipped quanta) from a genuinely stuck scheduler (error out
+			// instead of spinning forever). A follow-on job with a large
+			// StartCycle previously made this loop spin one empty quantum at
+			// a time until the window crawled up to the job's start.
+			minFront := int64(math.MaxInt64)
+			for i, c := range cores {
+				if active[i] && c.Cycle() < minFront {
+					minFront = c.Cycle()
+				}
+			}
+			if minFront < limit || minFront == math.MaxInt64 {
+				return nil, fmt.Errorf("sim: scheduler made no progress")
+			}
+			limit = minFront
 		}
 		limit += quantum
 		if limit < 0 {

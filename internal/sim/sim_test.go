@@ -199,7 +199,9 @@ func TestNoiseIncreasesVarianceAndProtocolSuppressesIt(t *testing.T) {
 				t.Fatal(err)
 			}
 			if noise {
-				m.SetNoise(DefaultNoise(seed + int64(rep)))
+				if err := m.SetNoise(DefaultNoise(seed + int64(rep))); err != nil {
+					t.Fatal(err)
+				}
 			}
 			res, err := m.RunOne(job(t, 0, 4, 16*4000, 0x100000))
 			if err != nil {

@@ -100,19 +100,29 @@ const (
 	StatMax
 )
 
-// String returns the CSV-facing name of the statistic.
+// normalize maps an out-of-range Statistic to StatMean, the documented
+// fallback. Every method of the type routes through it so Of and String
+// agree on what an invalid value means.
+func (st Statistic) normalize() Statistic {
+	if st < StatMin || st > StatMax {
+		return StatMean
+	}
+	return st
+}
+
+// String returns the CSV-facing name of the statistic. Out-of-range values
+// render as the fallback statistic actually applied by Of ("mean").
 func (st Statistic) String() string {
-	switch st {
+	switch st.normalize() {
 	case StatMin:
 		return "min"
 	case StatMedian:
 		return "median"
-	case StatMean:
-		return "mean"
 	case StatMax:
 		return "max"
+	default:
+		return "mean"
 	}
-	return fmt.Sprintf("Statistic(%d)", int(st))
 }
 
 // ParseStatistic parses a statistic name as accepted by the
@@ -131,17 +141,17 @@ func ParseStatistic(name string) (Statistic, error) {
 	return 0, fmt.Errorf("stats: unknown statistic %q (want min|median|mean|max)", name)
 }
 
-// Of applies the statistic to a summary.
+// Of applies the statistic to a summary. Out-of-range values fall back to
+// the mean, matching what String reports for them.
 func (st Statistic) Of(s Summary) float64 {
-	switch st {
+	switch st.normalize() {
 	case StatMin:
 		return s.Min
 	case StatMedian:
 		return s.Median
-	case StatMean:
-		return s.Mean
 	case StatMax:
 		return s.Max
+	default:
+		return s.Mean
 	}
-	return s.Mean
 }

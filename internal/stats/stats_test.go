@@ -181,3 +181,41 @@ func TestFormatFloat(t *testing.T) {
 		t.Errorf("formatFloat(2.5) = %q", got)
 	}
 }
+
+// TestStatisticOfAndStringAgree pins the contract that Of and String use the
+// same mapping, including the out-of-range fallback: an invalid Statistic
+// both reports and renders as the mean, rather than applying the mean while
+// printing a Statistic(%d) placeholder.
+func TestStatisticOfAndStringAgree(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4, 9})
+	cases := []struct {
+		st   Statistic
+		name string
+		want float64
+	}{
+		{StatMin, "min", s.Min},
+		{StatMedian, "median", s.Median},
+		{StatMean, "mean", s.Mean},
+		{StatMax, "max", s.Max},
+		{Statistic(-1), "mean", s.Mean},
+		{Statistic(99), "mean", s.Mean},
+	}
+	for _, c := range cases {
+		if got := c.st.String(); got != c.name {
+			t.Errorf("Statistic(%d).String() = %q, want %q", int(c.st), got, c.name)
+		}
+		if got := c.st.Of(s); got != c.want {
+			t.Errorf("Statistic(%d).Of = %v, want %v (%s)", int(c.st), got, c.want, c.name)
+		}
+	}
+	// Round trip: every parseable name maps back to itself through String.
+	for _, name := range []string{"min", "median", "mean", "max"} {
+		st, err := ParseStatistic(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.String() != name {
+			t.Errorf("ParseStatistic(%q).String() = %q", name, st.String())
+		}
+	}
+}
