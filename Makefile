@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke telemetry-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build, the full test suite under the race
-# detector, and a single-iteration pass of the hot-path benchmarks so they
-# cannot rot between perf-focused PRs.
-ci: fmt-check vet lint build race bench-smoke
+# detector, a single-iteration pass of the hot-path benchmarks so they
+# cannot rot between perf-focused PRs, and a live scrape of the telemetry
+# endpoints through the real CLI.
+ci: fmt-check vet lint build race bench-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -42,8 +43,9 @@ bench:
 
 # HOT_BENCHES are the simulator hot-path benchmarks whose numbers this repo
 # tracks in BENCH_sim.json (see README): one repetition, the full launcher
-# protocol, and a campaign sweep.
-HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkCampaignSweep)$$
+# protocol with telemetry off and on (the pair bounds instrumentation
+# overhead), and the campaign sweep serial plus across worker counts.
+HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers)$$
 
 # bench-smoke compiles and runs each hot-path benchmark exactly once — a CI
 # guard that they keep working, not a measurement.
@@ -56,6 +58,12 @@ LABEL ?= local
 bench-json:
 	$(GO) test -run='^$$' -bench '$(HOT_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label '$(LABEL)' -o BENCH_sim.json
+
+# telemetry-smoke starts a real study with -telemetry-addr on an ephemeral
+# port, scrapes /metrics and /debug/campaigns mid-run, and asserts the
+# expected metric families are exposed (scripts/telemetry_smoke.sh).
+telemetry-smoke:
+	GO='$(GO)' sh scripts/telemetry_smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch a
 # regression in the parsers' error paths without stalling CI.

@@ -25,6 +25,7 @@ import (
 	"microtools/internal/machine"
 	"microtools/internal/sim"
 	"microtools/internal/stats"
+	"microtools/internal/telemetry"
 )
 
 // runExperiment executes one registered experiment per benchmark iteration
@@ -659,6 +660,72 @@ func BenchmarkCampaignSweep(b *testing.B) {
 		if res.Launches != 510 {
 			b.Fatalf("sweep launched %d variants, want 510", res.Launches)
 		}
+	}
+}
+
+// BenchmarkCampaignSweepWorkers runs the same 510-variant cold sweep at
+// 1/2/4/8 workers — the parallel-scaling curve of the campaign engine. The
+// results are bit-identical across worker counts (every variant runs on its
+// own simulated machine), so the sub-benchmark ratios are pure scheduling
+// efficiency.
+func BenchmarkCampaignSweepWorkers(b *testing.B) {
+	spec := fig6Spec()
+	launch := DefaultLaunchOptions()
+	launch.MachineName = "nehalem-dual/8"
+	launch.ArrayBytes = 1 << 12
+	launch.InnerReps = 1
+	launch.OuterReps = 1
+	launch.MaxInstructions = 2_000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunCampaign(context.Background(), strings.NewReader(spec), GenerateOptions{},
+					CampaignOptions{Launch: launch, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Launches != 510 {
+					b.Fatalf("sweep launched %d variants, want 510", res.Launches)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLauncherProtocolTelemetry is BenchmarkLauncherProtocol with a live
+// metrics registry armed: every repetition feeds the rep-latency histogram
+// and the sim flushes its counters at launch end. Compare against the plain
+// benchmark — the acceptance budget for enabled telemetry is <2% on this
+// protocol-dominated path.
+func BenchmarkLauncherProtocolTelemetry(b *testing.B) {
+	desc, err := machine.ByName("nehalem-dual/8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := sim.New(desc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := asm.ParseOne(obsKernel, "k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := launcher.DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 1 << 10
+	opts.TripElements = 16
+	opts.Metrics = telemetry.NewMetrics(telemetry.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := launcher.LaunchOn(context.Background(), mach, prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := opts.Metrics.Registry.Snapshot()
+	if s.Counters["sim.insts.retired"] == 0 {
+		b.Fatal("telemetry was armed but sim.insts.retired stayed 0")
 	}
 }
 

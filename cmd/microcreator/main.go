@@ -45,13 +45,23 @@ func main() {
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004,V008)")
 
 		trace cliutil.Trace
+		tele  cliutil.Telemetry
 	)
 	trace.Register(flag.CommandLine, "the generation pipeline")
+	tele.Register(flag.CommandLine, "the generation run")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels generation between passes and variants.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if addr, err := tele.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+		os.Exit(1)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "microcreator: telemetry: http://%s/\n", addr)
+	}
+	defer tele.Close()
 
 	if *listPasses {
 		m := passes.NewManager()

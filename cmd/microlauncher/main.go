@@ -78,11 +78,13 @@ func main() {
 		counters cliutil.Counters
 		camp     cliutil.Campaign
 		trace    cliutil.Trace
+		tele     cliutil.Telemetry
 	)
 	report.Register(flag.CommandLine, "result encoding on stdout")
 	counters.Register(flag.CommandLine, "over the measured region (shown in the json report; csv prints them on stderr)")
 	camp.RegisterWorkers(flag.CommandLine, "measuring several functions")
 	trace.Register(flag.CommandLine, "the launch protocol")
+	tele.Register(flag.CommandLine, "the launches")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancels the measurement between repetitions.
@@ -93,6 +95,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microlauncher: %v\n", err)
 		os.Exit(1)
 	}
+	if addr, err := tele.Start(); err != nil {
+		fail(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "microlauncher: telemetry: http://%s/\n", addr)
+	}
+	defer tele.Close()
 	if *kernelPath == "" {
 		fmt.Fprintln(os.Stderr, "microlauncher: -kernel is required (see -h)")
 		os.Exit(2)
@@ -205,6 +213,7 @@ func main() {
 		launcher.WithOMPOverheadScale(*ompScale),
 		launcher.WithTimeUnit(timeUnit),
 		launcher.WithTracer(trace.Tracer()),
+		launcher.WithMetrics(tele.Metrics()),
 	}
 	if !*noIRQ {
 		setters = append(setters, launcher.WithInterruptNoise(*noiseSeed))

@@ -5,16 +5,18 @@
 // Rules:
 //
 //	L001  no wall-clock time (time.Now / time.Since) in library packages
-//	      outside internal/obs — the toolchain is deterministic by design;
-//	      all timing flows through the simulated clock or the obs tracer.
+//	      outside internal/obs and internal/telemetry — the toolchain is
+//	      deterministic by design; all timing flows through the simulated
+//	      clock, the obs tracer or the telemetry instruments.
 //	L002  no package-level math/rand calls (rand.Intn, rand.Float64, ...) —
 //	      randomness must come from an explicitly seeded *rand.Rand so runs
 //	      are reproducible from their seed.
 //	L003  no fmt.Print* in library packages — libraries return values or
 //	      write to an injected io.Writer; only commands talk to stdout.
-//	L004  an obs span created with Start or Child and bound to a variable
-//	      must be ended (v.End()) or escape the function (stored, passed,
-//	      returned); a dropped span silently truncates the trace tree.
+//	L004  a span or timer created with Start or Child and bound to a
+//	      variable must be closed (v.End() / v.Stop()) or escape the
+//	      function (stored, passed, returned); a dropped span silently
+//	      truncates the trace tree, a dropped timer records nothing.
 //	L005  error strings (errors.New, fmt.Errorf) must not be capitalized
 //	      and must not end with punctuation or a newline.
 //	L006  library packages must stay cancellable: no context.Background()
@@ -25,6 +27,13 @@
 //	      fmt.Errorf takes the %w verb, not %v/%s/%q — flattening the cause
 //	      severs the errors.Is/errors.As chain the error taxonomy
 //	      (campaign.Error, faults.Error, launcher fault classes) relies on.
+//	L008  no ad-hoc metric state outside internal/telemetry: importing
+//	      expvar or declaring a package-level sync/atomic variable creates a
+//	      second, unexported metrics surface that /metrics cannot see — all
+//	      process-wide instrumentation goes through telemetry.Registry.
+//	L009  no new RunParallel call sites: the shim is kept only for source
+//	      compatibility and delegates to the campaign engine — call
+//	      RunCampaign (campaign.Run) with Options.Workers instead.
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -158,9 +167,12 @@ type fileContext struct {
 	imports map[string]string
 	// library is true for non-main packages (rules L001/L003 apply).
 	library bool
-	// obs is true inside internal/obs, the one package allowed wall-clock
-	// access (it timestamps trace spans).
-	obs bool
+	// obs is true inside internal/obs and telemetry inside
+	// internal/telemetry — the two packages allowed wall-clock access (obs
+	// timestamps trace spans, telemetry feeds duration histograms) and, for
+	// telemetry, the one place process-wide metric state may live (L008).
+	obs       bool
+	telemetry bool
 	// parents maps every node to its syntactic parent.
 	parents map[ast.Node]ast.Node
 	// suppressed maps line -> rule IDs disabled there ("" disables all).
@@ -183,6 +195,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 		imports:    importNames(f),
 		library:    f.Name.Name != "main",
 		obs:        strings.Contains(slash, "internal/obs/"),
+		telemetry:  strings.Contains(slash, "internal/telemetry/"),
 		parents:    buildParents(f),
 		suppressed: suppressions(fset, f),
 	}
@@ -192,6 +205,8 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkErrorStrings(ctx)
 	checkErrorWrapping(ctx)
 	checkContext(ctx)
+	checkMetricState(ctx)
+	checkRunParallel(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
 		if !ctx.isSuppressed(d) {
@@ -320,10 +335,10 @@ func checkClockAndPrint(c *fileContext) {
 		if !ok {
 			return true
 		}
-		if !c.obs {
+		if !c.obs && !c.telemetry {
 			if fn, ok := pkgCall(c, call, "time"); ok && (fn == "Now" || fn == "Since") {
 				c.report(call.Pos(), "L001",
-					"time.%s in a library package: wall-clock time belongs in internal/obs; thread a span or accept a timestamp", fn)
+					"time.%s in a library package: wall-clock time belongs in internal/obs or internal/telemetry; thread a span or accept a timestamp", fn)
 			}
 		}
 		if fn, ok := pkgCall(c, call, "fmt"); ok && strings.HasPrefix(fn, "Print") {
@@ -537,8 +552,9 @@ func isContextType(c *fileContext, e ast.Expr) bool {
 	return ok && c.imports[id.Name] == "context"
 }
 
-// checkSpans implements L004: a span bound to a local variable via a
-// Start/Child chain must be ended in the same function or escape it.
+// checkSpans implements L004: a span or timer bound to a local variable via
+// a Start/Child chain must be closed (End/Stop) in the same function or
+// escape it.
 func checkSpans(c *fileContext) {
 	if c.obs {
 		return // the implementation package manufactures spans freely
@@ -568,7 +584,7 @@ func checkSpansIn(c *fileContext, body *ast.BlockStmt) {
 		ended, escaped := spanFate(c, body, id)
 		if !ended && !escaped {
 			c.report(as.Pos(), "L004",
-				"span %s is never ended: call %s.End() (or let it escape the function)", id.Name, id.Name)
+				"span %s is never closed: call %s.End() (timers: .Stop()) or let it escape the function", id.Name, id.Name)
 		}
 		return true
 	})
@@ -629,12 +645,94 @@ func spanFate(c *fileContext, body *ast.BlockStmt, def *ast.Ident) (ended, escap
 	return ended, escaped
 }
 
+// checkMetricState implements L008: process-wide instrumentation lives in
+// internal/telemetry and nowhere else. Two shapes create a shadow metrics
+// surface invisible to /metrics — importing expvar (its own registry on its
+// own endpoint) and declaring a package-level sync/atomic variable (mutable
+// global state with no exposition). Atomic fields inside structs are fine:
+// the rule targets package-level vars only.
+func checkMetricState(c *fileContext) {
+	if c.telemetry {
+		return
+	}
+	for _, imp := range c.file.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "expvar" {
+			c.report(imp.Pos(), "L008",
+				"expvar registers a second metrics surface /metrics cannot see: use telemetry.Registry")
+		}
+	}
+	for _, decl := range c.file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || vs.Type == nil {
+				continue
+			}
+			if name, ok := atomicTypeName(c, vs.Type); ok {
+				c.report(vs.Pos(), "L008",
+					"package-level atomic.%s is global-mutable metric state: put the instrument in telemetry.Registry (or hang the atomic off a struct)", name)
+			}
+		}
+	}
+}
+
+// atomicTypeName reports whether the type expression mentions a sync/atomic
+// type (atomic.Int64, []atomic.Uint64, ...), returning the type's name.
+func atomicTypeName(c *fileContext, e ast.Expr) (string, bool) {
+	var name string
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || name != "" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && c.imports[id.Name] == "sync/atomic" {
+			name = sel.Sel.Name
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+// checkRunParallel implements L009: RunParallel is the deprecated pre-campaign
+// fan-out shim, retained only so existing callers keep compiling. New call
+// sites — bare or through any selector — go through the campaign engine
+// instead. The file holding the plain-function declaration itself is exempt
+// (the shim's own body delegates without calling it).
+func checkRunParallel(c *fileContext) {
+	for _, decl := range c.file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == "RunParallel" {
+			return
+		}
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		called := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			called = fun.Name
+		case *ast.SelectorExpr:
+			called = fun.Sel.Name
+		}
+		if called == "RunParallel" {
+			c.report(call.Pos(), "L009",
+				"RunParallel is the deprecated pre-campaign shim: call RunCampaign (campaign.Run) with Options.Workers")
+		}
+		return true
+	})
+}
+
 // chainCallsEnd climbs a method chain rooted at sel and reports whether any
-// link calls End.
+// link calls End (obs spans) or Stop (telemetry timers).
 func chainCallsEnd(c *fileContext, sel *ast.SelectorExpr) bool {
 	var node ast.Node = sel
 	for {
-		if s, ok := node.(*ast.SelectorExpr); ok && s.Sel.Name == "End" {
+		if s, ok := node.(*ast.SelectorExpr); ok && (s.Sel.Name == "End" || s.Sel.Name == "Stop") {
 			return true
 		}
 		parent := c.parents[node]

@@ -5,10 +5,21 @@ package bad
 import (
 	"context"
 	"errors"
+	"expvar"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
+
+// hits and total trip L008 twice: expvar registers a shadow metrics surface
+// and a package-level atomic is global-mutable metric state. The struct-field
+// atomic inside counterStub below is fine.
+var hits = expvar.NewInt("hits")
+
+var total atomic.Int64
+
+type counterStub struct{ n atomic.Int64 }
 
 // wallClock trips L001 twice: Now and Since.
 func wallClock() time.Duration {
@@ -87,6 +98,15 @@ func misplacedButUnexported(name string, ctx context.Context) error {
 func CtxFirst(ctx context.Context, name string) error {
 	return ctx.Err()
 }
+
+// legacyFanOut trips L009: RunParallel is the deprecated pre-campaign shim.
+func legacyFanOut(rt runnerStub) {
+	rt.RunParallel()
+}
+
+type runnerStub struct{}
+
+func (runnerStub) RunParallel() {}
 
 // suppressed would trip L003 but is disabled in place.
 func suppressed() {

@@ -12,6 +12,14 @@
 //	microtools vet [-json] [-suppress V004,V008] spec.xml...
 //	microtools chaos [-fault-seed N] [-fault-rate R] [-fault-burst N]
 //	          [-fault-permanent] [-retries N] spec.xml
+//	microtools top [-addr host:port] [-json] [-metrics]
+//
+// Every mode accepts -telemetry-addr to serve live telemetry while it
+// runs: /metrics (Prometheus text format), /debug/campaigns (JSON
+// snapshots of in-flight campaigns) and /events (SSE progress stream);
+// -pprof additionally mounts net/http/pprof on the same listener. The
+// top subcommand queries a running instance's endpoints once and prints
+// a snapshot — the one-shot companion of watching /events.
 //
 // The -study flow runs as a campaign (internal/campaign): generated
 // variants stream into a cancellable worker pool, failures are isolated
@@ -35,8 +43,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -51,6 +62,7 @@ import (
 	"microtools/internal/experiments"
 	"microtools/internal/launcher"
 	"microtools/internal/obs"
+	"microtools/internal/telemetry"
 	"microtools/internal/verify"
 )
 
@@ -128,6 +140,8 @@ func runChaos(ctx context.Context, args []string) {
 	var camp cliutil.Campaign
 	camp.RegisterWorkers(fs, "the chaos campaign")
 	camp.RegisterResilience(fs)
+	var tele cliutil.Telemetry
+	tele.Register(fs, "both chaos runs")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: microtools chaos [flags] spec.xml")
 		fs.PrintDefaults()
@@ -153,16 +167,26 @@ func runChaos(ctx context.Context, args []string) {
 		fmt.Fprintf(os.Stderr, "microtools: chaos: %v\n", err)
 		os.Exit(1)
 	}
+	if addr, err := tele.Start(); err != nil {
+		fail(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "microtools: chaos: telemetry: http://%s/\n", addr)
+	}
+	defer tele.Close()
 	spec := fs.Arg(0)
 	opts := launcher.NewOptions(
 		launcher.WithMachine(*machineName),
 		launcher.WithArrayBytes(*size),
 		launcher.WithReps(2, 1),
+		launcher.WithMetrics(tele.Metrics()),
 	)
 
-	run := func(in *campaign.Options) (*campaign.Result, error) {
+	run := func(name string, in *campaign.Options) (*campaign.Result, error) {
 		copts := camp.Options()
 		copts.Launch = opts
+		copts.Name = name
+		copts.Metrics = tele.Metrics()
+		copts.Tracker = tele.Tracker()
 		if in != nil {
 			copts.Faults = in.Faults
 			copts.Counters = in.Counters
@@ -170,14 +194,14 @@ func runChaos(ctx context.Context, args []string) {
 		return campaign.RunFile(ctx, spec, core.GenerateOptions{}, copts)
 	}
 
-	clean, err := run(nil)
+	clean, err := run(spec+" (fault-free)", nil)
 	if err != nil {
 		fail(fmt.Errorf("fault-free run: %w", err))
 	}
 	injector := chaos.Injector()
 	counters := obs.NewCounterSet()
 	injector.SetCounters(counters)
-	chaotic, cerr := run(&campaign.Options{Faults: injector, Counters: counters})
+	chaotic, cerr := run(spec+" (chaotic)", &campaign.Options{Faults: injector, Counters: counters})
 	if cerr != nil && !chaos.Permanent {
 		fail(fmt.Errorf("chaotic run: %w", cerr))
 	}
@@ -221,6 +245,109 @@ func runChaos(ctx context.Context, args []string) {
 	}
 }
 
+// runTop implements the top subcommand: one-shot snapshot of a running
+// instance's telemetry. It fetches /debug/campaigns and prints a
+// progress table (or the raw JSON with -json), and with -metrics also
+// dumps the full Prometheus exposition. Exit status 1 means the
+// instance was unreachable.
+func runTop(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "localhost:9100", "telemetry address of the running instance (the value it was given as -telemetry-addr)")
+		jsonOut = fs.Bool("json", false, "print the raw /debug/campaigns JSON instead of the table")
+		metrics = fs.Bool("metrics", false, "also dump the /metrics Prometheus exposition")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: microtools top [-addr host:port] [-json] [-metrics]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microtools: top: %v\n", err)
+		os.Exit(1)
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		rsp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer rsp.Body.Close()
+		body, err := io.ReadAll(rsp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if rsp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s%s: %s", base, path, rsp.Status)
+		}
+		return body, nil
+	}
+
+	body, err := get("/debug/campaigns")
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		os.Stdout.Write(body)
+	} else {
+		var page struct {
+			Campaigns []telemetry.CampaignSnapshot `json:"campaigns"`
+		}
+		if err := json.Unmarshal(body, &page); err != nil {
+			fail(fmt.Errorf("decoding /debug/campaigns: %w", err))
+		}
+		if len(page.Campaigns) == 0 {
+			fmt.Println("no campaigns (running or recently finished)")
+		} else {
+			fmt.Printf("%-4s %-24s %12s %6s %6s %6s %6s %9s %9s %s\n",
+				"ID", "NAME", "DONE/TOTAL", "CACHE%", "FAIL", "RETRY", "QUAR", "ELAPSED", "ETA", "STATE")
+			for _, c := range page.Campaigns {
+				total := fmt.Sprintf("%d", c.Emitted)
+				if c.Generating {
+					total += "+"
+				}
+				state := "running"
+				switch {
+				case c.Finished && c.Err != "":
+					state = "failed: " + c.Err
+				case c.Finished:
+					state = "done"
+				}
+				name := c.Name
+				if len(name) > 24 {
+					name = name[:21] + "..."
+				}
+				fmt.Printf("%-4d %-24s %12s %5.1f%% %6d %6d %6d %9s %9s %s\n",
+					c.ID, name, fmt.Sprintf("%d/%s", c.Done, total),
+					100*c.CacheHitRatio, c.Failed, c.Retries, c.Quarantined,
+					(time.Duration(c.ElapsedSeconds * float64(time.Second))).Round(time.Second),
+					(time.Duration(c.ETASeconds * float64(time.Second))).Round(time.Second),
+					state)
+			}
+		}
+	}
+	if *metrics {
+		body, err := get("/metrics")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(body)
+	}
+}
+
 func main() {
 	// Ctrl-C / SIGTERM cancels the running campaign or experiment; a study
 	// returns its partial results (and its cache keeps what was measured).
@@ -234,6 +361,9 @@ func main() {
 			return
 		case "chaos":
 			runChaos(ctx, os.Args[2:])
+			return
+		case "top":
+			runTop(ctx, os.Args[2:])
 			return
 		}
 	}
@@ -255,18 +385,27 @@ func main() {
 		counters cliutil.Counters
 		camp     cliutil.Campaign
 		trace    cliutil.Trace
+		tele     cliutil.Telemetry
 	)
 	report.Register(flag.CommandLine, "encoding for the -study measurement table written with -csv")
 	counters.Register(flag.CommandLine, "for every -study measurement")
 	camp.Register(flag.CommandLine, "-study")
 	camp.RegisterResilience(flag.CommandLine)
 	trace.Register(flag.CommandLine, "the -study campaign (generation + every launch)")
+	tele.Register(flag.CommandLine, "the run")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "microtools: %v\n", err)
 		os.Exit(1)
 	}
+
+	if addr, err := tele.Start(); err != nil {
+		fail(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "microtools: telemetry: http://%s/\n", addr)
+	}
+	defer tele.Close()
 
 	if *list {
 		fmt.Println("Paper experiments (see DESIGN.md for the full index):")
@@ -322,6 +461,7 @@ func main() {
 			launcher.WithMachine(*machine),
 			launcher.WithArrayBytes(*size),
 			launcher.WithTracer(tracer),
+			launcher.WithMetrics(tele.Metrics()),
 		}
 		if counters.Enabled {
 			setters = append(setters, launcher.WithCounters())
@@ -371,6 +511,9 @@ func main() {
 			copts := camp.Options()
 			copts.Launch = opts
 			copts.Tracer = tracer
+			copts.Name = *study
+			copts.Metrics = tele.Metrics()
+			copts.Tracker = tele.Tracker()
 			cache, err := camp.OpenCache()
 			if err != nil {
 				fail(err)

@@ -35,7 +35,8 @@ func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
 	scrub := opts
 	scrub.Verbose = nil
 	scrub.Tracer = nil
-	scrub.Faults = nil // the fault plan perturbs execution, not the key
+	scrub.Faults = nil  // the fault plan perturbs execution, not the key
+	scrub.Metrics = nil // live instrumentation observes the run, it is not part of it
 	optJSON, err := json.Marshal(scrub)
 	if err != nil {
 		return "", fmt.Errorf("campaign: hashing options: %w", err)

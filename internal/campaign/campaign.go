@@ -53,6 +53,8 @@ import (
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
 	"microtools/internal/obs"
+	"microtools/internal/stats"
+	"microtools/internal/telemetry"
 )
 
 // VariantError re-exports the per-variant failure record shared with core.
@@ -119,6 +121,22 @@ type Options struct {
 	// armed with the same set, faults.injected).
 	Counters *obs.CounterSet
 
+	// --- live telemetry ----------------------------------------------------
+
+	// Name labels the run in live telemetry (/debug/campaigns, /events);
+	// empty defaults to "campaign".
+	Name string
+	// Metrics, when non-nil, records live campaign metrics: the
+	// per-variant duration histogram and queue-depth gauge directly, and
+	// every Counters name via a tee into Metrics.Registry (Counters is
+	// created on demand if nil). It is propagated into Launch.Metrics
+	// (rep latency, calibration time, simulator counters) unless the
+	// launch options already carry their own.
+	Metrics *telemetry.Metrics
+	// Tracker, when non-nil, registers the run for live progress: one
+	// tracked campaign from Begin to End, updated after every variant.
+	Tracker *telemetry.Tracker
+
 	// --- resilience --------------------------------------------------------
 
 	// VariantDeadline bounds each variant's total measurement time, every
@@ -174,6 +192,12 @@ type VariantResult struct {
 	// Quarantined reports that the variant failed Options.Quarantine
 	// consecutive attempts and was withdrawn from further retries.
 	Quarantined bool
+	// Stability carries the measurement's per-repetition confidence
+	// signals (N, mean, CV, RCIW). It is filled for measured and
+	// cache-hit variants alike — entries cached before the launcher
+	// stored it are backfilled from their Summary, which reproduces the
+	// same values bit for bit (stats.StabilityOf is pure).
+	Stability stats.Stability
 	// Err is the variant's failure (nil on success).
 	Err error
 }
@@ -274,6 +298,29 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		}
 	}
 
+	// Live telemetry: the counter set (created on demand) tees into the
+	// registry, so every campaign.* counter is visible on /metrics while
+	// the run is still going; the launch options inherit the metrics
+	// handle so rep latency and simulator counters flow too.
+	var variantHist *telemetry.Histogram
+	var queueDepth *telemetry.Gauge
+	if opts.Metrics != nil {
+		if opts.Counters == nil {
+			opts.Counters = obs.NewCounterSet()
+		}
+		opts.Counters.Tee(opts.Metrics.Registry)
+		if opts.Launch.Metrics == nil {
+			opts.Launch.Metrics = opts.Metrics
+		}
+		variantHist = opts.Metrics.VariantSeconds
+		queueDepth = opts.Metrics.QueueDepth
+	}
+	liveName := opts.Name
+	if liveName == "" {
+		liveName = "campaign"
+	}
+	live := opts.Tracker.Begin(liveName)
+
 	root := opts.Tracer.Start("campaign").
 		Str("machine", opts.Launch.MachineName).
 		Int("workers", int64(workers))
@@ -354,7 +401,18 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			quarantined++
 		}
 		report()
+		upd := telemetry.CampaignUpdate{
+			Done:        len(results),
+			Emitted:     emitted,
+			Generating:  generating,
+			CacheHits:   hits,
+			Failed:      failed,
+			Launches:    launches,
+			Retries:     retries,
+			Quarantined: quarantined,
+		}
 		mu.Unlock()
+		live.Update(upd)
 		if r.Err != nil {
 			opts.Counters.Inc("campaign.failures")
 			if opts.FailFast {
@@ -388,6 +446,8 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	}
 
 	measure := func(j job) {
+		vt := variantHist.Start()
+		defer vt.Stop()
 		sp := root.Child("variant").Str("kernel", j.prog.Name).Int("index", int64(j.index))
 		defer sp.End()
 		opts.Counters.Inc("campaign.variants")
@@ -409,7 +469,10 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				if m, ok := opts.Cache.Get(key); ok {
 					sp.Child("cache.hit").End()
 					opts.Counters.Inc("campaign.cache.hits")
-					record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m, CacheHit: true})
+					record(VariantResult{
+						Index: j.index, Name: j.prog.Name,
+						Measurement: m, CacheHit: true, Stability: stabilityFor(m),
+					})
 					return
 				}
 				sp.Child("cache.miss").End()
@@ -491,7 +554,10 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				m = canon // adopt the store's canonical encoding (bit-identical warm hits)
 			}
 		}
-		record(VariantResult{Index: j.index, Name: j.prog.Name, Measurement: m, Attempts: attempts})
+		record(VariantResult{
+			Index: j.index, Name: j.prog.Name,
+			Measurement: m, Attempts: attempts, Stability: stabilityFor(m),
+		})
 	}
 
 	var poolWG sync.WaitGroup
@@ -500,6 +566,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		go func() {
 			defer poolWG.Done()
 			for j := range jobs {
+				queueDepth.Set(int64(len(jobs)))
 				if cctx.Err() != nil {
 					continue // drain without measuring after cancellation
 				}
@@ -509,6 +576,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	}
 	poolWG.Wait()
 	producerWG.Wait()
+	queueDepth.Set(0)
 
 	mu.Lock()
 	res := &Result{
@@ -530,19 +598,48 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		Int("retries", int64(res.Retries)).
 		Int("quarantined", int64(res.Quarantined))
 
-	if err := ctx.Err(); err != nil {
+	// Close the live-tracked campaign on every exit path: one final
+	// progress update carrying the run's aggregate accounting, then the
+	// "end" event with the campaign's error (nil on success) — so the
+	// /events stream and /debug/campaigns agree with the returned Result
+	// to the bit.
+	finish := func(err error) (*Result, error) {
+		live.Update(telemetry.CampaignUpdate{
+			Done:        len(res.Results),
+			Emitted:     res.Emitted,
+			CacheHits:   res.CacheHits,
+			Failed:      res.Failures,
+			Launches:    res.Launches,
+			Retries:     res.Retries,
+			Quarantined: res.Quarantined,
+		})
+		live.End(err)
 		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(err)
 	}
 	if gerr != nil && !errors.Is(gerr, context.Canceled) {
-		return res, fmt.Errorf("campaign: generate: %w", gerr)
+		return finish(fmt.Errorf("campaign: generate: %w", gerr))
 	}
 	if err := res.Err(); err != nil {
-		return res, err
+		return finish(err)
 	}
 	if res.Emitted == 0 {
-		return res, fmt.Errorf("campaign: the description generated no variants")
+		return finish(fmt.Errorf("campaign: the description generated no variants"))
 	}
-	return res, nil
+	return finish(nil)
+}
+
+// stabilityFor returns a measurement's stored stability statistics,
+// backfilling them from the summary for cache entries written before the
+// launcher recorded the field (stats.StabilityOf reproduces the stored
+// values exactly).
+func stabilityFor(m *launcher.Measurement) stats.Stability {
+	if m.Stability.N != 0 {
+		return m.Stability
+	}
+	return stats.StabilityOf(m.Summary)
 }
 
 // RunFile is Run over an XML file on disk.

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"microtools/internal/core"
+	"microtools/internal/stats"
+	"microtools/internal/telemetry"
+)
+
+// TestTelemetryAgreesWithResult is the live-vs-final consistency gate: the
+// registry counters a scraper would see must equal the campaign's own
+// Result accounting, and the tracker's final snapshot must match both.
+func TestTelemetryAgreesWithResult(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracker()
+	cache := NewMemoryCache()
+
+	cold := runSweep(t, Options{
+		Launch: quickLaunch(), Workers: 4, Cache: cache,
+		Name: "cold", Metrics: telemetry.NewMetrics(reg), Tracker: tr,
+	})
+	s := reg.Snapshot()
+	if got := s.Counters["campaign.launches"]; got != int64(cold.Launches) {
+		t.Errorf("campaign.launches = %d, Result.Launches = %d", got, cold.Launches)
+	}
+	if got := s.Counters["campaign.variants"]; got != int64(len(cold.Results)) {
+		t.Errorf("campaign.variants = %d, len(Results) = %d", got, len(cold.Results))
+	}
+	if got := s.Counters["campaign.cache.misses"]; got != int64(cold.Launches) {
+		t.Errorf("campaign.cache.misses = %d, want %d", got, cold.Launches)
+	}
+	if got := reg.Histogram(telemetry.MetricVariantSeconds, nil).Count(); got != int64(len(cold.Results)) {
+		t.Errorf("variant histogram count = %d, want one observation per variant (%d)", got, len(cold.Results))
+	}
+	// The launcher instruments through the propagated Metrics too.
+	if got := s.Counters[telemetry.MetricSimInstsRetired]; got == 0 {
+		t.Error("sim.insts.retired = 0: launcher metrics not propagated")
+	}
+	if got := reg.Histogram(telemetry.MetricRepSeconds, nil).Count(); got == 0 {
+		t.Error("launcher.rep.seconds empty: rep latency not recorded")
+	}
+
+	// Warm re-run on the same registry: hits add up, launches don't.
+	warm := runSweep(t, Options{
+		Launch: quickLaunch(), Workers: 4, Cache: cache,
+		Name: "warm", Metrics: telemetry.NewMetrics(reg), Tracker: tr,
+	})
+	if warm.Launches != 0 || warm.CacheHits != 4 {
+		t.Fatalf("warm run: launches=%d hits=%d, want 0/4", warm.Launches, warm.CacheHits)
+	}
+	s = reg.Snapshot()
+	if got := s.Counters["campaign.cache.hits"]; got != 4 {
+		t.Errorf("campaign.cache.hits = %d, want 4", got)
+	}
+	if got := s.Counters["campaign.launches"]; got != int64(cold.Launches) {
+		t.Errorf("campaign.launches moved on a warm run: %d", got)
+	}
+
+	// The tracker retained both runs; final snapshots mirror the Results.
+	snaps := tr.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("tracker retained %d campaigns, want 2", len(snaps))
+	}
+	for i, res := range []*Result{cold, warm} {
+		snap := snaps[i]
+		if !snap.Finished || snap.Err != "" {
+			t.Errorf("campaign %q not cleanly finished: %+v", snap.Name, snap)
+		}
+		if snap.Done != len(res.Results) || snap.Emitted != res.Emitted ||
+			snap.CacheHits != res.CacheHits || snap.Launches != res.Launches ||
+			snap.Failed != res.Failures {
+			t.Errorf("campaign %q snapshot %+v disagrees with result (done=%d emitted=%d hits=%d launches=%d failed=%d)",
+				snap.Name, snap, len(res.Results), res.Emitted, res.CacheHits, res.Launches, res.Failures)
+		}
+	}
+}
+
+// TestStabilityDeterministic pins the per-variant stability statistics:
+// two cold runs and a warm (cache-served) run must agree bit for bit, and
+// each must reproduce stats.StabilityOf over the stored summary.
+func TestStabilityDeterministic(t *testing.T) {
+	launch := quickLaunch()
+	launch.OuterReps = 3 // give CV/RCIW something to measure
+
+	cache := NewMemoryCache()
+	a := runSweep(t, Options{Launch: launch, Cache: cache})
+	b := runSweep(t, Options{Launch: launch})
+	warm := runSweep(t, Options{Launch: launch, Cache: cache})
+	if warm.Launches != 0 {
+		t.Fatalf("warm run launched %d variants, want 0", warm.Launches)
+	}
+
+	for i := range a.Results {
+		sa, sb, sw := a.Results[i].Stability, b.Results[i].Stability, warm.Results[i].Stability
+		if sa.N == 0 {
+			t.Fatalf("variant %d: stability not recorded", i)
+		}
+		if sa != sb {
+			t.Errorf("variant %d: cold runs disagree: %+v vs %+v", i, sa, sb)
+		}
+		if sa != sw {
+			t.Errorf("variant %d: warm run disagrees: %+v vs %+v", i, sa, sw)
+		}
+		if want := stats.StabilityOf(a.Results[i].Measurement.Summary); sa != want {
+			t.Errorf("variant %d: stability %+v != StabilityOf(Summary) %+v", i, sa, want)
+		}
+	}
+}
+
+// TestEventOrderingUnderCancellation cancels the campaign from its own
+// Progress callback and checks the event stream still arrives in order and
+// terminates with a single "end" event carrying the cancellation error.
+func TestEventOrderingUnderCancellation(t *testing.T) {
+	tr := telemetry.NewTracker()
+	ch, cancelSub := tr.Subscribe(256)
+	defer cancelSub()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		Launch: quickLaunch(), Workers: 1, Tracker: tr, Name: "canceled-sweep",
+		Progress: func(p Progress) {
+			if p.Done >= 2 {
+				cancel()
+			}
+		},
+	}
+	_, err := Run(ctx, strings.NewReader(sweepSpec), core.GenerateOptions{}, opts)
+	if err == nil {
+		t.Fatal("canceled campaign returned nil error")
+	}
+	cancelSub()
+
+	var types []string
+	lastSeq := int64(0)
+	for ev := range ch {
+		if ev.Seq <= lastSeq {
+			t.Errorf("seq %d after %d: not strictly increasing", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		types = append(types, ev.Type)
+		if ev.Type == "end" {
+			if !ev.Campaign.Finished {
+				t.Error("end event snapshot not marked finished")
+			}
+			if ev.Campaign.Err == "" {
+				t.Error("end event carries no error for a canceled campaign")
+			}
+		}
+	}
+	if len(types) < 2 || types[0] != "begin" || types[len(types)-1] != "end" {
+		t.Fatalf("event types = %v, want begin ... end", types)
+	}
+	for _, typ := range types[1 : len(types)-1] {
+		if typ != "progress" {
+			t.Errorf("interior event type %q, want progress (all types: %v)", typ, types)
+		}
+	}
+}

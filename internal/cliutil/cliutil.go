@@ -21,6 +21,7 @@ import (
 	"microtools/internal/faults"
 	"microtools/internal/launcher"
 	"microtools/internal/obs"
+	"microtools/internal/telemetry"
 )
 
 // Trace wires the shared -trace flag: an optional span-trace output file
@@ -172,6 +173,98 @@ func (c *Campaign) Options() campaign.Options {
 			Seed:        c.RetrySeed,
 		},
 	}
+}
+
+// Telemetry wires the live-telemetry flags shared by every command:
+// -telemetry-addr starts the embedded HTTP server (/metrics,
+// /debug/campaigns, /events) and -pprof additionally mounts
+// net/http/pprof on the same listener. The accessor methods hand out the
+// registry-backed handles to thread into options; all of them return nil
+// when -telemetry-addr is unset, which downstream code treats as
+// telemetry-off.
+type Telemetry struct {
+	// Addr is the parsed -telemetry-addr value ("" = telemetry off).
+	Addr string
+	// Pprof is the parsed -pprof value.
+	Pprof bool
+
+	registry *telemetry.Registry
+	metrics  *telemetry.Metrics
+	tracker  *telemetry.Tracker
+	server   *telemetry.Server
+}
+
+// Register installs -telemetry-addr and -pprof on fs. what names the
+// instrumented activity in the help text (e.g. "the -study sweep").
+func (t *Telemetry) Register(fs *flag.FlagSet, what string) {
+	fs.StringVar(&t.Addr, "telemetry-addr", "",
+		"serve live telemetry for "+what+" on this address (host:port; :0 picks a free port): /metrics (Prometheus text), /debug/campaigns (JSON), /events (SSE)")
+	fs.BoolVar(&t.Pprof, "pprof", false,
+		"also mount net/http/pprof on the -telemetry-addr listener (off by default)")
+}
+
+// Enabled reports whether -telemetry-addr was set.
+func (t *Telemetry) Enabled() bool { return t.Addr != "" }
+
+// ensure lazily builds the registry, metrics and tracker once enabled.
+func (t *Telemetry) ensure() {
+	if !t.Enabled() || t.registry != nil {
+		return
+	}
+	t.registry = telemetry.NewRegistry()
+	t.metrics = telemetry.NewMetrics(t.registry)
+	t.tracker = telemetry.NewTracker()
+}
+
+// Registry returns the live registry, or nil when telemetry is off.
+func (t *Telemetry) Registry() *telemetry.Registry {
+	t.ensure()
+	return t.registry
+}
+
+// Metrics returns the instrument handles to thread into launcher and
+// campaign options, or nil when telemetry is off.
+func (t *Telemetry) Metrics() *telemetry.Metrics {
+	t.ensure()
+	return t.metrics
+}
+
+// Tracker returns the campaign progress tracker, or nil when telemetry
+// is off.
+func (t *Telemetry) Tracker() *telemetry.Tracker {
+	t.ensure()
+	return t.tracker
+}
+
+// Start brings the HTTP server up on -telemetry-addr and returns the
+// bound address (useful with :0). When telemetry is off it returns ""
+// and does nothing.
+func (t *Telemetry) Start() (string, error) {
+	if !t.Enabled() {
+		return "", nil
+	}
+	t.ensure()
+	t.server = telemetry.NewServer(telemetry.ServerOptions{
+		Registry:    t.registry,
+		Tracker:     t.tracker,
+		EnablePprof: t.Pprof,
+	})
+	addr, err := t.server.Start(t.Addr)
+	if err != nil {
+		t.server = nil
+		return "", err
+	}
+	return addr, nil
+}
+
+// Close stops the server (no-op when never started).
+func (t *Telemetry) Close() error {
+	if t.server == nil {
+		return nil
+	}
+	err := t.server.Close()
+	t.server = nil
+	return err
 }
 
 // Chaos wires the fault-plan flags of `microtools chaos`: seed, per-point

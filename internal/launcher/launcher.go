@@ -15,6 +15,7 @@ import (
 	"microtools/internal/power"
 	"microtools/internal/sim"
 	"microtools/internal/stats"
+	"microtools/internal/telemetry"
 )
 
 // Measurement is the launcher's result for one kernel under one
@@ -30,6 +31,11 @@ type Measurement struct {
 	Unit  TimeUnit
 	// Summary holds the distribution across outer repetitions.
 	Summary stats.Summary
+	// Stability condenses Summary into the per-variant confidence
+	// signals (mean, CV, RCIW) campaign results and the measurement
+	// cache carry. It is a pure function of Summary (stats.StabilityOf),
+	// so entries cached before the field existed reproduce it exactly.
+	Stability stats.Stability
 	// Iterations is the per-call loop iteration count the kernel returned
 	// in %eax (§4.4).
 	Iterations uint64
@@ -171,6 +177,21 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 		Str("machine", opts.MachineName)
 	defer root.End()
 	defer mach.SetTraceSpan(obs.Span{})
+	// Live telemetry: resolve the histogram handles once (nil handles
+	// no-op) and arm the machine's simulator counters for the duration of
+	// this launch — disarming flushes its locally accumulated counts.
+	// Durations are timed by chaining laps (one clock read per
+	// observation, not two): the end of one timed section is the start of
+	// the next, which keeps enabled telemetry inside its <2% overhead
+	// budget on the protocol-dominated launch path.
+	var repHist, calHist *telemetry.Histogram
+	var tick telemetry.Tick
+	if opts.Metrics != nil {
+		repHist = opts.Metrics.RepSeconds
+		calHist = opts.Metrics.CalibrateSeconds
+		mach.SetMetrics(opts.Metrics)
+		defer mach.SetMetrics(nil)
+	}
 	if opts.Faults != nil {
 		mach.SetFaults(opts.Faults, prog.Name)
 		defer mach.SetFaults(nil, "")
@@ -274,6 +295,9 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	// Calibration (§4.5): time the empty kernel.
 	overhead := 0.0
 	if opts.Calibrate {
+		if calHist != nil {
+			tick.Reset()
+		}
 		csp := root.Child("calibrate")
 		cstart := mach.Now()
 		mach.SetTraceSpan(csp)
@@ -285,6 +309,9 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 		}
 		overhead = float64(res.Cycles)
 		csp.Float("overhead_cycles", overhead).Cycles(cstart, mach.Now()).End()
+		if calHist != nil {
+			tick.Lap(calHist)
+		}
 		logf("calibrated overhead: %.0f cycles/call", overhead)
 	}
 
@@ -319,6 +346,9 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	jobs := make([]sim.Job, len(pins))
 	resScratch := make([]sim.JobResult, 0, 1)
 
+	if repHist != nil && !tick.Started() {
+		tick.Reset() // calibration was off; base the lap chain here
+	}
 	for rep := 0; rep < opts.OuterReps; rep++ {
 		if err := ctxErr(ctx); err != nil {
 			msp.Str("error", err.Error()).End()
@@ -464,9 +494,17 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	}
 	mach.SetTraceSpan(obs.Span{})
 	msp.Cycles(measStart, mach.Now()).End()
+	if repHist != nil {
+		// The whole repetition phase is one lap, recorded as one
+		// observation per repetition at the phase mean: a second clock
+		// read per rep would cost more than the budget allows, and the
+		// cross-variant latency distribution is what the histogram is for.
+		tick.LapN(repHist, len(samples))
+	}
 
 	meas.Iterations = iterations
 	meas.Summary = stats.Summarize(samples)
+	meas.Stability = stats.StabilityOf(meas.Summary)
 	meas.Value = opts.Statistic.Of(meas.Summary)
 	meas.MemStats = mach.Sys.Stats().Sub(memBefore)
 	if opts.CollectCounters {

@@ -21,6 +21,7 @@ import (
 	"microtools/internal/faults"
 	"microtools/internal/obs"
 	"microtools/internal/stats"
+	"microtools/internal/telemetry"
 )
 
 // Mode selects the execution strategy.
@@ -175,6 +176,13 @@ type Options struct {
 	// measurement, captured as a delta over the measured region only (so
 	// warm-up and calibration traffic never pollute the counts).
 	CollectCounters bool
+	// Metrics, when non-nil, records live telemetry for the launch: the
+	// per-repetition latency and calibration-time histograms, plus the
+	// simulator's instructions-retired and core-pool counters for the
+	// machine's duration. Nil is the zero-overhead default. Excluded
+	// from cache keys: live instrumentation observes the run, it does
+	// not change the measured value.
+	Metrics *telemetry.Metrics `json:"-"`
 
 	// --- resilience --------------------------------------------------------
 
@@ -399,6 +407,9 @@ func WithTracer(t *obs.Tracer) Option { return func(o *Options) { o.Tracer = t }
 
 // WithCounters attaches a simulated-PMU snapshot to the measurement.
 func WithCounters() Option { return func(o *Options) { o.CollectCounters = true } }
+
+// WithMetrics arms live telemetry recording for the launch.
+func WithMetrics(m *telemetry.Metrics) Option { return func(o *Options) { o.Metrics = m } }
 
 // --- resilience --------------------------------------------------------------
 

@@ -55,7 +55,10 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
 }
 
-// reportSummary is the distribution block of one report entry.
+// reportSummary is the distribution block of one report entry. RCIW is
+// the relative 95% confidence-interval width of the mean — with CV, the
+// stability signal downstream consumers read to decide how much to trust
+// the value (see stats.Stability).
 type reportSummary struct {
 	N      int       `json:"n"`
 	Min    jsonFloat `json:"min"`
@@ -64,6 +67,7 @@ type reportSummary struct {
 	Max    jsonFloat `json:"max"`
 	StdDev jsonFloat `json:"stddev"`
 	CV     jsonFloat `json:"cv"`
+	RCIW   jsonFloat `json:"rciw"`
 }
 
 // reportDerived is the derived-metric block computed from a counter
@@ -137,6 +141,7 @@ func WriteJSON(w io.Writer, ms []*Measurement) error {
 				Max:    jsonFloat(m.Summary.Max),
 				StdDev: jsonFloat(m.Summary.StdDev),
 				CV:     jsonFloat(m.Summary.CV()),
+				RCIW:   jsonFloat(m.Summary.RCIW()),
 			},
 			Iterations:     m.Iterations,
 			OverheadCycles: jsonFloat(m.OverheadCycles),

@@ -15,9 +15,23 @@ import (
 //
 // A nil *CounterSet is the disabled default: every method nil-checks and
 // returns immediately, mirroring the nil-*Tracer convention.
+//
+// A CounterSet is one CounterSink among several: Tee fans every Add out
+// to further sinks (the live telemetry registry, another set), making the
+// post-hoc snapshot and the live exposition two views of one counter
+// stream.
 type CounterSet struct {
 	mu     sync.Mutex
 	counts map[string]int64
+	sinks  []CounterSink
+}
+
+// CounterSink receives named counter deltas. *CounterSet implements it,
+// as does telemetry.Registry (structurally — obs deliberately does not
+// import telemetry), so counter streams compose without either package
+// knowing the other.
+type CounterSink interface {
+	Count(name string, delta int64)
 }
 
 // NewCounterSet returns an empty, enabled counter registry.
@@ -25,18 +39,44 @@ func NewCounterSet() *CounterSet {
 	return &CounterSet{counts: map[string]int64{}}
 }
 
-// Add increments the named counter by delta.
+// Add increments the named counter by delta and forwards the delta to
+// every teed sink.
 func (s *CounterSet) Add(name string, delta int64) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	s.counts[name] += delta
+	for _, sink := range s.sinks {
+		sink.Count(name, delta)
+	}
 	s.mu.Unlock()
 }
 
 // Inc increments the named counter by one.
 func (s *CounterSet) Inc(name string) { s.Add(name, 1) }
+
+// Count is Add under the CounterSink contract, so one CounterSet can tee
+// into another.
+func (s *CounterSet) Count(name string, delta int64) { s.Add(name, delta) }
+
+// Tee registers a sink that receives every future Add delta (existing
+// totals are not replayed). Registering the same sink twice, the set
+// itself, or a nil sink is a no-op, so campaign wiring can tee
+// unconditionally.
+func (s *CounterSet) Tee(sink CounterSink) {
+	if s == nil || sink == nil || sink == CounterSink(s) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.sinks {
+		if have == sink {
+			return
+		}
+	}
+	s.sinks = append(s.sinks, sink)
+}
 
 // Get returns the named counter's current value (0 when never incremented
 // or on a nil set).

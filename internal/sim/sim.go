@@ -17,6 +17,7 @@ import (
 	"microtools/internal/machine"
 	"microtools/internal/memsim"
 	"microtools/internal/obs"
+	"microtools/internal/telemetry"
 )
 
 // quantum is the lock-step window in core cycles. Cores never run further
@@ -75,6 +76,18 @@ type Machine struct {
 	// successive runs all advance it, so shared memory-system timestamps
 	// (MSHRs, channel queues) never sit in a job's future.
 	now int64
+
+	// Live-telemetry handles (SetMetrics) and their local accumulators.
+	// The accumulators are plain fields — a Machine is single-goroutine —
+	// bumped on the hot paths and flushed to the shared atomic counters
+	// by SetMetrics, so the RunOne fast path pays an integer add, not an
+	// atomic RMW, per event (and still allocates nothing).
+	instsRetired *telemetry.Counter
+	poolHits     *telemetry.Counter
+	poolMisses   *telemetry.Counter
+	mInsts       int64
+	mPoolHits    int64
+	mPoolMisses  int64
 
 	// pool holds one reusable cpu.Core per hardware core id, created
 	// lazily. Run/RunStream Reset pooled cores instead of allocating
@@ -155,6 +168,33 @@ func (m *Machine) checkFault(prog *isa.Program) error {
 		return fmt.Errorf("sim: stepping %s: %w", prog.Name, err)
 	}
 	return nil
+}
+
+// SetMetrics arms (or, with nil, disarms) live telemetry: instructions
+// retired and core-pool hit/miss counts accumulate locally and are
+// pushed to met's counters on the next SetMetrics call — the launcher
+// arms a machine for the duration of one launch and disarms it (which
+// flushes) when the launch ends. Accumulated counts from a period with
+// no handles armed are discarded rather than attributed to a later
+// owner.
+func (m *Machine) SetMetrics(met *telemetry.Metrics) {
+	m.flushMetrics()
+	if met == nil {
+		m.instsRetired, m.poolHits, m.poolMisses = nil, nil, nil
+		return
+	}
+	m.instsRetired = met.SimInstsRetired
+	m.poolHits = met.SimPoolHits
+	m.poolMisses = met.SimPoolMisses
+}
+
+// flushMetrics pushes the local accumulators to the armed counters (a
+// nil handle drops its count) and zeroes them.
+func (m *Machine) flushMetrics() {
+	m.instsRetired.Add(m.mInsts)
+	m.poolHits.Add(m.mPoolHits)
+	m.poolMisses.Add(m.mPoolMisses)
+	m.mInsts, m.mPoolHits, m.mPoolMisses = 0, 0, 0
 }
 
 // SetTraceSpan parents subsequent Run/RunStream spans under sp. The
@@ -240,6 +280,9 @@ func (m *Machine) core(id int) *cpu.Core {
 	if c == nil {
 		c = cpu.NewCore(id, m.Desc.Arch, m.Sys)
 		m.pool[id] = c
+		m.mPoolMisses++
+	} else {
+		m.mPoolHits++
 	}
 	return c
 }
@@ -345,6 +388,7 @@ func (m *Machine) Run(jobs []Job) ([]JobResult, error) {
 					EAX:      c.Reg(isa.RAX),
 					EndCycle: c.Cycle(),
 				}
+				m.mInsts += results[i].Insts
 				if c.Cycle() > m.now {
 					m.now = c.Cycle()
 				}
@@ -411,6 +455,7 @@ func (m *Machine) RunOne(job Job) (JobResult, error) {
 		return JobResult{}, fmt.Errorf("sim: job 0: %w", err)
 	}
 	res := JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
+	m.mInsts += res.Insts
 	if res.EndCycle > m.now {
 		m.now = res.EndCycle
 	}
@@ -505,6 +550,7 @@ func (m *Machine) RunStream(initial []Job, next func(slot int, r JobResult) *Job
 			}
 			progressed = true
 			res := JobResult{Result: c.Result(), EAX: c.Reg(isa.RAX), EndCycle: c.Cycle()}
+			m.mInsts += res.Insts
 			results = append(results, StreamResult{Slot: i, JobResult: res})
 			if res.EndCycle > m.now {
 				m.now = res.EndCycle

@@ -69,6 +69,39 @@ func (s Summary) CV() float64 {
 	return s.StdDev / s.Mean
 }
 
+// RCIW returns the relative 95% confidence-interval width of the mean —
+// 2·1.96·(stddev/√n)/mean under the normal approximation — the stability
+// signal μOpTime's adaptive repetition budgeting keys on: a run whose
+// RCIW is still wide needs more repetitions, not a tighter statistic.
+// It returns 0 for a zero mean or an empty summary.
+func (s Summary) RCIW() float64 {
+	if s.Mean == 0 || s.N == 0 {
+		return 0
+	}
+	half := 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	return 2 * half / s.Mean
+}
+
+// Stability bundles the per-measurement stability statistics carried by
+// campaign results and the measurement cache: the repetition count, the
+// mean, and the two relative dispersion signals (CV, RCIW) downstream
+// consumers — result ranking, adaptive budget planners — read to decide
+// how much to trust the value.
+type Stability struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	CV   float64 `json:"cv"`
+	RCIW float64 `json:"rciw"`
+}
+
+// StabilityOf derives the stability statistics from a summary. It is a
+// pure function of the summary, so recomputing it (e.g. for a cache
+// entry written before the field existed) reproduces the stored value
+// bit for bit.
+func StabilityOf(s Summary) Stability {
+	return Stability{N: s.N, Mean: s.Mean, CV: s.CV(), RCIW: s.RCIW()}
+}
+
 // Spread returns (max-min)/min, the relative spread across repetitions.
 // The paper's §2 alignment study uses exactly this ("The variation is less
 // than 3% for any alignment configuration").

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Exporter consumes registry snapshots. The in-process exposition server
+// is one exporter (it snapshots on every /metrics scrape); JSONLExporter
+// writes snapshots to a stream for offline analysis; a remote push
+// exporter would implement the same contract. obs.CounterSet feeds the
+// registry (via Tee), and everything downstream of the registry goes
+// through this interface — registry in the middle, sinks on both sides.
+type Exporter interface {
+	// Export records one snapshot. Implementations must treat the
+	// snapshot as immutable.
+	Export(s Snapshot) error
+}
+
+// Export snapshots the registry into the exporter — a convenience for
+// periodic or end-of-run dumps. A nil registry exports an empty snapshot.
+func (r *Registry) Export(e Exporter) error {
+	return e.Export(r.Snapshot())
+}
+
+// JSONLExporter writes each exported snapshot as one JSON object per
+// line, the same append-only framing the span tracer and measurement
+// cache use. It serializes concurrent Export calls.
+type JSONLExporter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLExporter returns an exporter writing to w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{enc: json.NewEncoder(w)}
+}
+
+// Export writes the snapshot as one JSON line.
+func (e *JSONLExporter) Export(s Snapshot) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(s)
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestWritePrometheusGolden locks the full exposition format — name
+// sanitisation, TYPE lines, cumulative buckets, +Inf, _sum/_count — against
+// a golden file. Regenerate with: go test ./internal/telemetry -run Golden -update
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.launches").Add(510)
+	r.Counter("campaign.cache.hits").Add(170)
+	r.Gauge("campaign.queue.depth").Set(3)
+	h := r.Histogram("launcher.rep.seconds", []float64{1e-3, 1e-2, 1e-1})
+	for _, v := range []float64{5e-4, 5e-4, 3e-3, 0.25} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in an order that differs from the sorted output.
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	r.Gauge("m.middle").Set(1)
+	r.Histogram("b.h", []float64{1}).Observe(0.5)
+
+	var first string
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, b.String())
+		}
+	}
+	ai := strings.Index(first, "microtools_a_first")
+	zi := strings.Index(first, "microtools_z_last")
+	if ai < 0 || zi < 0 || ai > zi {
+		t.Errorf("counters not sorted or not prefixed:\n%s", first)
+	}
+}
