@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke telemetry-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke telemetry-smoke analyze-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build, the full test suite under the race
 # detector, a single-iteration pass of the hot-path benchmarks so they
-# cannot rot between perf-focused PRs, and a live scrape of the telemetry
-# endpoints through the real CLI.
-ci: fmt-check vet lint build race bench-smoke telemetry-smoke
+# cannot rot between perf-focused PRs, a static analysis of every shipped
+# spec, and a live scrape of the telemetry endpoints through the real CLI.
+ci: fmt-check vet lint build race bench-smoke analyze-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ bench:
 # tracks in BENCH_sim.json (see README): one repetition, the full launcher
 # protocol with telemetry off and on (the pair bounds instrumentation
 # overhead), and the campaign sweep serial plus across worker counts.
-HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers)$$
+HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers|BenchmarkAnalyze|BenchmarkScreenStatic)$$
 
 # bench-smoke compiles and runs each hot-path benchmark exactly once — a CI
 # guard that they keep working, not a measurement.
@@ -71,3 +71,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/xmlspec
 	$(GO) test -run='^$$' -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/asm
 	$(GO) test -run='^$$' -fuzz=FuzzValidate -fuzztime=10s ./internal/launcher
+	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/dataflow
+
+# analyze-smoke runs the static dataflow analysis over every variant of every
+# shipped spec on both machine models; `microtools analyze` exits non-zero on
+# any defect finding (a dead register write, V009, or a self-move, V010), so
+# a spec regression fails CI without launching a single measurement.
+analyze-smoke:
+	$(GO) run ./cmd/microtools analyze -machine nehalem-dual specs/*.xml > /dev/null
+	$(GO) run ./cmd/microtools analyze -machine sandybridge specs/*.xml > /dev/null

@@ -18,7 +18,9 @@ import (
 
 	"microtools/internal/analytic"
 	"microtools/internal/asm"
+	"microtools/internal/core"
 	"microtools/internal/cpu"
+	"microtools/internal/dataflow"
 	"microtools/internal/experiments"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
@@ -459,6 +461,89 @@ func BenchmarkVerifyVariants(b *testing.B) {
 			b.ReportMetric(100*(float64(on)-float64(off))/float64(off), "verify-overhead-%")
 		}
 	})
+}
+
+// BenchmarkAnalyze measures the static dataflow analysis (internal/dataflow)
+// over the paper's 510-variant §5.1 family: parse + reaching definitions +
+// dependence DAG + bound computation per variant. The per-variant metric is
+// what the campaign pays to attach a static bound to every measurement and
+// what ScreenTopKStatic pays per candidate.
+func BenchmarkAnalyze(b *testing.B) {
+	progs, err := GenerateString(context.Background(), fig6Spec(), GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := isa.Nehalem()
+	kernels := make([]*Kernel, len(progs))
+	for i := range progs {
+		k, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels[i] = k
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range kernels {
+			rep, err := dataflow.Analyze(k, arch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.CyclesLowerBound <= 0 {
+				b.Fatalf("%s: no bound", k.Name)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(kernels)), "ns/variant")
+}
+
+// BenchmarkScreenStatic measures the dataflow-bound screen over the same
+// 510-variant family (keep 32) and reports the speedup a campaign gains by
+// measuring only the survivors: (cost of simulating all variants) versus
+// (screen + simulate the kept fraction), with the per-variant simulation
+// cost taken from one real launch.
+func BenchmarkScreenStatic(b *testing.B) {
+	progs, err := GenerateString(context.Background(), fig6Spec(), GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keep = 32
+	var screenTime time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		kept, err := core.ScreenTopKStatic(context.Background(), progs, "nehalem-dual/8", 4, keep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		screenTime += time.Since(start)
+		if len(kept) != keep {
+			b.Fatalf("kept %d, want %d", len(kept), keep)
+		}
+	}
+	b.StopTimer()
+	// One real launch calibrates the simulation cost the screen avoids.
+	opts := launcher.DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 4 << 10
+	opts.InnerReps = 1
+	opts.OuterReps = 2
+	kernel, err := asm.ParseOne(progs[0].Assembly, progs[0].Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := launcher.Launch(context.Background(), kernel, opts); err != nil {
+		b.Fatal(err)
+	}
+	perLaunch := time.Since(start)
+	screenPer := screenTime / time.Duration(b.N)
+	all := perLaunch * time.Duration(len(progs))
+	screened := screenPer + perLaunch*keep
+	if screened > 0 {
+		b.ReportMetric(float64(all)/float64(screened), "campaign-speedup-x")
+	}
+	b.ReportMetric(float64(screenPer.Nanoseconds())/float64(len(progs)), "screen-ns/variant")
 }
 
 func fig6Spec() string {

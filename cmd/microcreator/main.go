@@ -21,6 +21,8 @@ import (
 
 	"microtools/internal/cliutil"
 	"microtools/internal/core"
+	"microtools/internal/dataflow"
+	"microtools/internal/machine"
 	"microtools/internal/passes"
 	"microtools/internal/plugin"
 	"microtools/internal/verify"
@@ -43,6 +45,8 @@ func main() {
 		verifyJSON = flag.Bool("verify-json", false, "like -verify, but emit the diagnostics as JSON")
 		noVerify   = flag.Bool("no-verify", false, "disable the verify-variants pass (generation proceeds even on verifier errors)")
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004,V008)")
+		analyze    = flag.Bool("analyze", false, "run the static dataflow analysis over every variant and print the per-variant bounds instead of writing programs (exit 1 on dead writes or self-moves)")
+		analyzeOn  = flag.String("machine", "nehalem-dual", "machine model whose µop tables -analyze uses")
 
 		trace cliutil.Trace
 		tele  cliutil.Telemetry
@@ -113,17 +117,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
 			os.Exit(1)
 		}
-		if *verifyJSON {
-			if err := ds.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
-				os.Exit(1)
-			}
-		} else {
+		if !*verifyJSON {
 			fmt.Printf("%d variants, %s\n", len(progs), ds.Summary())
-			ds.WriteText(os.Stdout)
 		}
-		if ds.HasErrors() {
+		if err := cliutil.WriteDiagnostics(os.Stdout, ds, *verifyJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
 			os.Exit(1)
+		}
+		if code := cliutil.DiagnosticsExitCode(ds); code != 0 {
+			os.Exit(code)
 		}
 		return
 	}
@@ -139,6 +141,37 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
 		os.Exit(1)
+	}
+	if *analyze {
+		mach, err := machine.ByName(*analyzeOn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microcreator: %v\n", err)
+			os.Exit(1)
+		}
+		defects := 0
+		for i := range progs {
+			kernel, err := core.LoadKernel(progs[i].Assembly, "")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "microcreator: %s: %v\n", progs[i].Name, err)
+				os.Exit(1)
+			}
+			rep, err := dataflow.Analyze(kernel, mach.Arch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "microcreator: %s: %v\n", progs[i].Name, err)
+				os.Exit(1)
+			}
+			if len(progs) == 1 {
+				rep.WriteTable(os.Stdout)
+			} else {
+				fmt.Println(rep.Line())
+			}
+			defects += len(rep.Findings()) + len(rep.SelfMoves)
+		}
+		if defects > 0 {
+			fmt.Fprintf(os.Stderr, "microcreator: analyze: %d defect finding(s) across %d variant(s)\n", defects, len(progs))
+			os.Exit(1)
+		}
+		return
 	}
 	paths, err := core.WritePrograms(progs, *output)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"microtools/internal/cliutil"
 	"microtools/internal/codegen"
 	"microtools/internal/core"
+	"microtools/internal/dataflow"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
@@ -38,6 +39,7 @@ func main() {
 		kernelPath = flag.String("kernel", "", "kernel assembly file (required; - for stdin)")
 		function   = flag.String("function", "", "kernel function name when the input holds several (§4.1); -function all measures every function")
 		noVerify   = flag.Bool("no-verify", false, "skip the pre-launch static verification of the kernel (internal/verify)")
+		analyze    = flag.Bool("analyze", false, "print the static dataflow report (bounds, dependences) for the kernel on -machine instead of launching (exit 1 on dead writes or self-moves)")
 		suppress   = flag.String("suppress", "", "comma-separated verifier rule IDs to ignore (e.g. V004)")
 		// Machine / environment.
 		machineName = flag.String("machine", "nehalem-dual", "simulated machine, optionally scaled: "+strings.Join(machine.Names(), "|")+"[ /factor]")
@@ -155,6 +157,33 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if *analyze {
+		mach, err := machine.ByName(*machineName)
+		if err != nil {
+			fail(err)
+		}
+		defects := 0
+		for _, prog := range kernels {
+			rep, err := dataflow.Analyze(prog, mach.Arch)
+			if err != nil {
+				fail(fmt.Errorf("analyze %s: %w", prog.Name, err))
+			}
+			defects += len(rep.Findings()) + len(rep.SelfMoves)
+			if len(kernels) == 1 {
+				if err := rep.WriteTable(os.Stdout); err != nil {
+					fail(err)
+				}
+			} else {
+				fmt.Println(rep.Line())
+			}
+		}
+		if defects > 0 {
+			fmt.Fprintf(os.Stderr, "microlauncher: analyze: %d defect finding(s) across %d kernel(s)\n", defects, len(kernels))
+			os.Exit(1)
+		}
+		return
 	}
 
 	execMode, err := launcher.ParseMode(*mode)

@@ -34,6 +34,10 @@
 //	L009  no new RunParallel call sites: the shim is kept only for source
 //	      compatibility and delegates to the campaign engine — call
 //	      RunCampaign (campaign.Run) with Options.Workers instead.
+//	L010  no panic in library packages: libraries return errors and leave
+//	      the exit decision to the caller. The two conventional exceptions
+//	      are Must*/must* helpers (whose name announces the panic) and
+//	      init functions (where no error path exists).
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -207,6 +211,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkContext(ctx)
 	checkMetricState(ctx)
 	checkRunParallel(ctx)
+	checkPanics(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
 		if !ctx.isSuppressed(d) {
@@ -725,6 +730,47 @@ func checkRunParallel(c *fileContext) {
 		}
 		return true
 	})
+}
+
+// checkPanics implements L010: library packages return errors instead of
+// panicking. A panic call is allowed only inside a Must* function (the name
+// is the documented contract that misuse panics) or an init function (which
+// has no error return). The exemption is decided by the nearest enclosing
+// FuncDecl, so a closure inside a Must* helper inherits it.
+func checkPanics(c *fileContext) {
+	if !c.library {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" || id.Obj != nil {
+			return true
+		}
+		if fn := enclosingFuncDecl(c, call); fn != nil {
+			name := fn.Name.Name
+			if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				return true
+			}
+		}
+		c.report(call.Pos(), "L010",
+			"panic in a library package: return an error and let the caller decide (Must* helpers and init are exempt)")
+		return true
+	})
+}
+
+// enclosingFuncDecl walks the parent chain to the top-level function
+// declaration containing n, or nil for package-level expressions.
+func enclosingFuncDecl(c *fileContext, n ast.Node) *ast.FuncDecl {
+	for cur := c.parents[n]; cur != nil; cur = c.parents[cur] {
+		if fn, ok := cur.(*ast.FuncDecl); ok {
+			return fn
+		}
+	}
+	return nil
 }
 
 // chainCallsEnd climbs a method chain rooted at sel and reports whether any

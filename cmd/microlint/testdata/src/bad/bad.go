@@ -123,3 +123,11 @@ func (spanStub) Int(string, int) spanStub { return spanStub{} }
 func (spanStub) End()                     {}
 
 func use(int) {}
+
+// libraryPanic trips L010 once: libraries return errors, they do not panic.
+func libraryPanic(v int) int {
+	if v < 0 {
+		panic("bad: negative input")
+	}
+	return v
+}

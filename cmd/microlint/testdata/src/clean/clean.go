@@ -50,3 +50,26 @@ func lowerErr() error {
 func wrapped(name string, err error) error {
 	return fmt.Errorf("clean: %s: %w", name, err)
 }
+
+// MustParse is the sanctioned panic shape: the Must prefix announces it.
+func MustParse(ok bool) int {
+	if !ok {
+		panic("clean: MustParse on invalid input")
+	}
+	return 1
+}
+
+// mustSmall shows the unexported must* helper form, equally exempt.
+func mustSmall(n int) int {
+	if n > 10 {
+		panic("clean: too large")
+	}
+	return n
+}
+
+// init has no error return, so a panic is the only failure channel.
+func init() {
+	if false {
+		panic("clean: impossible")
+	}
+}

@@ -58,9 +58,13 @@ import (
 	"microtools/internal/analysis"
 	"microtools/internal/campaign"
 	"microtools/internal/cliutil"
+	"microtools/internal/codegen"
 	"microtools/internal/core"
+	"microtools/internal/dataflow"
 	"microtools/internal/experiments"
+	"microtools/internal/isa"
 	"microtools/internal/launcher"
+	machinepkg "microtools/internal/machine"
 	"microtools/internal/obs"
 	"microtools/internal/telemetry"
 	"microtools/internal/verify"
@@ -109,15 +113,98 @@ func runVet(ctx context.Context, args []string) {
 			fmt.Printf("%s: %d variants, %s\n", path, len(progs), ds.Summary())
 		}
 	}
+	if err := cliutil.WriteDiagnostics(os.Stdout, all, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "microtools: vet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(cliutil.DiagnosticsExitCode(all))
+}
+
+// runAnalyze implements the analyze subcommand: run the static dataflow
+// analysis (internal/dataflow) over kernels — every variant of an XML spec,
+// or an assembly file directly — and report the dependence structure and
+// performance lower bounds without launching anything. Exit status 1 means
+// the analysis flagged a defect (a dead register write outside a memory
+// access, V009, or a register self-move, V010) or an input failed to
+// analyze; `make analyze-smoke` relies on that contract.
+func runAnalyze(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	var (
+		jsonOut     = fs.Bool("json", false, "emit the reports as a JSON array instead of tables")
+		machineName = fs.String("machine", "nehalem-dual", "machine model whose µop tables the analysis uses")
+		seed        = fs.Int64("seed", 0, "seed for the random-select pass (XML inputs)")
+		vFlag       = fs.Bool("v", false, "per-pass progress on stderr (XML inputs)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: microtools analyze [-json] [-machine M] spec.xml|kernel.s ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microtools: analyze: %v\n", err)
+		os.Exit(1)
+	}
+	mach, err := machinepkg.ByName(*machineName)
+	if err != nil {
+		fail(err)
+	}
+	gen := core.GenerateOptions{Seed: *seed}
+	if *vFlag {
+		gen.Verbose = os.Stderr
+	}
+	var reports []*dataflow.Report
+	defects := 0
+	for _, path := range fs.Args() {
+		var kernels []*isa.Program
+		if strings.HasSuffix(path, ".xml") {
+			progs, err := core.GenerateFile(ctx, path, gen)
+			if err != nil {
+				fail(err)
+			}
+			for i := range progs {
+				k, err := core.LoadKernel(progs[i].Assembly, "")
+				if err != nil {
+					fail(fmt.Errorf("%s: %s: %w", path, progs[i].Name, err))
+				}
+				kernels = append(kernels, k)
+			}
+		} else {
+			k, err := core.LoadKernelFile(path, "")
+			if err != nil {
+				fail(err)
+			}
+			kernels = append(kernels, k)
+		}
+		for _, k := range kernels {
+			rep, err := dataflow.Analyze(k, mach.Arch)
+			if err != nil {
+				fail(fmt.Errorf("%s: %s: %w", path, k.Name, err))
+			}
+			reports = append(reports, rep)
+			defects += len(rep.Findings()) + len(rep.SelfMoves)
+		}
+	}
 	if *jsonOut {
-		if err := all.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "microtools: vet: %v\n", err)
-			os.Exit(1)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail(err)
+		}
+	} else if len(reports) == 1 {
+		if err := reports[0].WriteTable(os.Stdout); err != nil {
+			fail(err)
 		}
 	} else {
-		all.WriteText(os.Stdout)
+		for _, rep := range reports {
+			fmt.Println(rep.Line())
+		}
 	}
-	if all.HasErrors() {
+	if defects > 0 {
+		fmt.Fprintf(os.Stderr, "microtools: analyze: %d defect finding(s) across %d kernel(s)\n", defects, len(reports))
 		os.Exit(1)
 	}
 }
@@ -359,6 +446,9 @@ func main() {
 		case "vet":
 			runVet(ctx, os.Args[2:])
 			return
+		case "analyze":
+			runAnalyze(ctx, os.Args[2:])
+			return
 		case "chaos":
 			runChaos(ctx, os.Args[2:])
 			return
@@ -375,6 +465,7 @@ func main() {
 		machine = flag.String("machine", "nehalem-dual/8", "machine for -study")
 		size    = flag.Int64("size", 1<<14, "array bytes for -study")
 		screen  = flag.Int("screen", 0, "pre-rank variants with the analytic model and measure only the top K (0 = measure all)")
+		screenS = flag.Int("screen-static", 0, "pre-rank variants with the dataflow lower bound and measure only the top K (0 = measure all)")
 		quick   = flag.Bool("quick", false, "reduced sweeps (shapes preserved)")
 		csvOut  = flag.String("csv", "", "write the result table as CSV to this file")
 		outDir  = flag.String("outdir", "results", "output directory for -all")
@@ -472,7 +563,10 @@ func main() {
 		opts := launcher.NewOptions(setters...)
 		var ms []*launcher.Measurement
 		partial := false
-		if *screen > 0 {
+		if *screen > 0 && *screenS > 0 {
+			fail(fmt.Errorf("-screen and -screen-static are mutually exclusive"))
+		}
+		if *screen > 0 || *screenS > 0 {
 			// Screening needs the whole variant family in hand before
 			// ranking, so this path materializes the programs instead of
 			// streaming them through the campaign engine.
@@ -485,11 +579,18 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			kept, err := core.ScreenTopK(ctx, progs, *machine, *size, int(opts.ElementBytes), *screen)
+			var kept []codegen.Program
+			mode := "analytic"
+			if *screenS > 0 {
+				mode = "static"
+				kept, err = core.ScreenTopKStatic(ctx, progs, *machine, int(opts.ElementBytes), *screenS)
+			} else {
+				kept, err = core.ScreenTopK(ctx, progs, *machine, *size, int(opts.ElementBytes), *screen)
+			}
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("analytic screening: %d of %d variants kept for measurement\n", len(kept), len(progs))
+			fmt.Printf("%s screening: %d of %d variants kept for measurement\n", mode, len(kept), len(progs))
 			started := time.Now()
 			progress := func(done, total int) {
 				elapsed := time.Since(started)

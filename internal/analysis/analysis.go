@@ -131,6 +131,35 @@ func (r Ranking) Report() string {
 	return b.String()
 }
 
+// KendallTau computes Kendall's rank correlation (tau-a) between two
+// paired value slices: the fraction of concordant minus discordant pairs
+// over all pairs. +1 means identical orderings, -1 reversed, 0 no
+// association. The repository uses it to quantify how well the static
+// dataflow bound (Measurement.StaticBound) predicts the measured ranking
+// of a variant family — the number EXPERIMENTS.md reports for the
+// screening fidelity of ScreenTopKStatic. Ties on either side contribute
+// nothing (counted as neither concordant nor discordant). Returns 0 for
+// fewer than two pairs or mismatched lengths.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			da, db := a[i]-a[j], b[i]-b[j]
+			switch prod := da * db; {
+			case prod > 0:
+				concordant++
+			case prod < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := len(a) * (len(a) - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
 // Knee is a detected cutting point in a sweep.
 type Knee struct {
 	// X is the sweep coordinate where the cost jumps; Ratio is the jump

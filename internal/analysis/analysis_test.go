@@ -200,3 +200,27 @@ func TestBestWorstSkipNaN(t *testing.T) {
 		t.Errorf("RankPerElement did not sort NaN last: %v", rp)
 	}
 }
+
+func TestKendallTau(t *testing.T) {
+	same := []float64{1, 2, 3, 4}
+	if tau := KendallTau(same, []float64{10, 20, 30, 40}); tau != 1 {
+		t.Errorf("identical ordering: tau = %v, want 1", tau)
+	}
+	if tau := KendallTau(same, []float64{40, 30, 20, 10}); tau != -1 {
+		t.Errorf("reversed ordering: tau = %v, want -1", tau)
+	}
+	// One swapped adjacent pair out of 6 pairs: (5-1)/6.
+	if tau := KendallTau(same, []float64{10, 20, 40, 30}); math.Abs(tau-4.0/6.0) > 1e-15 {
+		t.Errorf("one swap: tau = %v, want %v", tau, 4.0/6.0)
+	}
+	// Ties contribute nothing: a constant side has no ordering signal.
+	if tau := KendallTau(same, []float64{7, 7, 7, 7}); tau != 0 {
+		t.Errorf("all ties: tau = %v, want 0", tau)
+	}
+	if tau := KendallTau([]float64{1}, []float64{2}); tau != 0 {
+		t.Errorf("degenerate input: tau = %v, want 0", tau)
+	}
+	if tau := KendallTau(same, []float64{1, 2}); tau != 0 {
+		t.Errorf("mismatched lengths: tau = %v, want 0", tau)
+	}
+}

@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"fmt"
+
+	"microtools/internal/dataflow"
+	"microtools/internal/isa"
+	"microtools/internal/launcher"
+	"microtools/internal/machine"
+)
+
+// BoundViolationError reports a broken oracle invariant: a variant measured
+// faster than internal/dataflow's static lower bound allows. Since the bound
+// is derived from the same decode tables the simulator schedules with, a
+// violation means the analysis, the timing model or the latency tables
+// disagree — the campaign surfaces it as a structured variant failure
+// (counted in telemetry as analysis.bound.violations).
+type BoundViolationError struct {
+	// Kernel and Machine identify the measurement.
+	Kernel  string
+	Machine string
+	// Bound is the static lower bound in core cycles per counted
+	// iteration; Measured is the fastest repetition converted to the same
+	// basis; Tolerance is the calibration allowance the comparison used.
+	Bound     float64
+	Measured  float64
+	Tolerance float64
+}
+
+func (e *BoundViolationError) Error() string {
+	return fmt.Sprintf(
+		"campaign: %s on %s measured %.4f core cycles/iteration, below the static lower bound %.4f (tolerance %.4f)",
+		e.Kernel, e.Machine, e.Measured, e.Bound, e.Tolerance)
+}
+
+// staticBoundCore computes the dataflow lower bound for one kernel in core
+// cycles per counted iteration, or 0 when the bound does not apply: the
+// launch is not per-iteration, the kernel has no recognisable constant
+// counter step, or analysis fails (the launch will surface the real error).
+// Under OpenMP the threads split the trip count, so the per-counted-
+// iteration floor shrinks by the core count.
+func staticBoundCore(kernel *isa.Program, arch *isa.Arch, launch launcher.Options) float64 {
+	if arch == nil || !launch.PerIteration {
+		return 0
+	}
+	rep, err := dataflow.Analyze(kernel, arch)
+	if err != nil || rep.CounterStep <= 0 {
+		return 0
+	}
+	b := rep.CyclesLowerBound / float64(rep.CounterStep)
+	if launch.Mode == launcher.OpenMP && launch.Cores > 1 {
+		b /= float64(launch.Cores)
+	}
+	return b
+}
+
+// boundInUnit converts a core-cycles-per-iteration bound into the launch
+// options' reporting unit, so Measurement.StaticBound is directly
+// comparable to Measurement.Value.
+func boundInUnit(bound float64, desc *machine.Machine, launch launcher.Options) float64 {
+	if bound == 0 || desc == nil {
+		return bound
+	}
+	core := desc.CoreGHz
+	if launch.CoreFrequencyGHz > 0 {
+		core = launch.CoreFrequencyGHz
+	}
+	switch launch.TimeUnit {
+	case launcher.UnitTSC:
+		return bound * desc.RefGHz / core
+	case launcher.UnitSeconds:
+		return bound / (core * 1e9)
+	}
+	return bound
+}
+
+// measuredCoreCycles converts the fastest repetition of m back into core
+// cycles per iteration (the bound's basis). Using the minimum makes the
+// oracle assert the strongest form of the invariant: every repetition,
+// not just the reported statistic, must respect the floor.
+func measuredCoreCycles(m *launcher.Measurement, desc *machine.Machine, launch launcher.Options) float64 {
+	v := m.Summary.Min
+	if m.Summary.N == 0 {
+		v = m.Value
+	}
+	core := desc.CoreGHz
+	if launch.CoreFrequencyGHz > 0 {
+		core = launch.CoreFrequencyGHz
+	}
+	switch launch.TimeUnit {
+	case launcher.UnitTSC:
+		return v * core / desc.RefGHz
+	case launcher.UnitSeconds:
+		return v * core * 1e9
+	}
+	return v
+}
+
+// boundTolerance is the calibration allowance of the oracle comparison.
+// Three effects let an honest measurement land slightly under the bound:
+// the calibrated per-call overhead subtraction can over-subtract by up to
+// its own magnitude (±OverheadCycles spread across the call's iterations);
+// a dependence cycle spanning k iterations only enforces its mean after the
+// pipeline fills, leaving up to one full cycle length (bounded by
+// isa.NumRegs·bound) of startup slack per call; and the float divisions add
+// rounding noise (2% relative, generous next to a corrupted-table signal,
+// which is a >2x shift).
+func boundTolerance(bound float64, m *launcher.Measurement) float64 {
+	iters := float64(m.Iterations)
+	if iters <= 0 {
+		iters = 1
+	}
+	return 0.02*bound + (m.OverheadCycles+float64(isa.NumRegs)*bound+16)/iters
+}
+
+// checkBound asserts the oracle invariant for one cache-miss measurement,
+// returning the structured violation (nil when the invariant holds or the
+// bound does not apply).
+func checkBound(m *launcher.Measurement, bound float64, desc *machine.Machine, launch launcher.Options) *BoundViolationError {
+	if bound <= 0 || desc == nil || m.Truncated || m.Iterations == 0 {
+		return nil
+	}
+	measured := measuredCoreCycles(m, desc, launch)
+	tol := boundTolerance(bound, m)
+	if measured >= bound-tol {
+		return nil
+	}
+	return &BoundViolationError{
+		Kernel:    m.Kernel,
+		Machine:   launch.MachineName,
+		Bound:     bound,
+		Measured:  measured,
+		Tolerance: tol,
+	}
+}

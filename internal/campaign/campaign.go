@@ -158,8 +158,21 @@ type Options struct {
 	// and the Cache unless those already carry their own injector.
 	Faults *faults.Injector
 
+	// CheckBounds asserts the oracle invariant on every cache-miss
+	// measurement: the static lower bound from internal/dataflow must not
+	// exceed the measured core cycles per iteration (within the
+	// calibration tolerance). Violations are structured
+	// *BoundViolationError variant failures, counted in telemetry as
+	// analysis.bound.violations. Cache hits are not re-checked — they
+	// passed when first measured.
+	CheckBounds bool
+
 	// launch substitutes the launcher in tests (nil = launcher.Launch).
 	launch launchFunc
+	// boundArch overrides the microarchitecture the static bound is
+	// computed from (tests corrupt its latency tables to prove the
+	// CheckBounds assertion has teeth). nil = the launch machine's Arch.
+	boundArch *isa.Arch
 }
 
 // Progress is one campaign progress snapshot.
@@ -198,6 +211,12 @@ type VariantResult struct {
 	// stored it are backfilled from their Summary, which reproduces the
 	// same values bit for bit (stats.StabilityOf is pure).
 	Stability stats.Stability
+	// StaticBound is internal/dataflow's lower bound for the variant in
+	// the measurement's unit and per-iteration basis (0 when the bound
+	// does not apply). It is recorded for hits and misses alike — the
+	// bound is a pure function of the kernel and the machine, so
+	// backfilling keeps cached results bit-identical.
+	StaticBound float64
 	// Err is the variant's failure (nil on success).
 	Err error
 }
@@ -427,8 +446,16 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	// shares one decode instead of redoing it per attempt. A resolution
 	// error is left for the launch itself to surface.
 	var decodeArch *isa.Arch
+	var launchDesc *machine.Machine
 	if desc, err := machine.ByName(opts.Launch.MachineName); err == nil {
 		decodeArch = desc.Arch
+		launchDesc = desc
+	}
+	// The static-bound arch defaults to the launch machine's; tests
+	// substitute a corrupted table through the seam.
+	boundArch := opts.boundArch
+	if boundArch == nil {
+		boundArch = decodeArch
 	}
 
 	// attempt runs one launch try, consulting the worker-launch injection
@@ -461,6 +488,11 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				return
 			}
 		}
+		// The static bound is a pure function of the kernel and the
+		// machine, so it is computed for hits and misses alike (cache
+		// entries predating the field backfill identically).
+		coreBound := staticBoundCore(kernel, boundArch, opts.Launch)
+		unitBound := boundInUnit(coreBound, launchDesc, opts.Launch)
 		var key string
 		if opts.Cache != nil {
 			k, err := Key(kernel, opts.Launch)
@@ -469,9 +501,17 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				if m, ok := opts.Cache.Get(key); ok {
 					sp.Child("cache.hit").End()
 					opts.Counters.Inc("campaign.cache.hits")
+					if unitBound > 0 && m.StaticBound != unitBound {
+						// Copy before annotating: the cache's canonical
+						// measurement is shared across workers.
+						mc := *m
+						mc.StaticBound = unitBound
+						m = &mc
+					}
 					record(VariantResult{
 						Index: j.index, Name: j.prog.Name,
 						Measurement: m, CacheHit: true, Stability: stabilityFor(m),
+						StaticBound: unitBound,
 					})
 					return
 				}
@@ -542,6 +582,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			})
 			return
 		}
+		m.StaticBound = unitBound
 		if opts.Cache != nil && key != "" {
 			canon, perr := opts.Cache.Put(key, m)
 			if perr != nil {
@@ -554,9 +595,21 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				m = canon // adopt the store's canonical encoding (bit-identical warm hits)
 			}
 		}
+		if opts.CheckBounds {
+			if v := checkBound(m, coreBound, launchDesc, opts.Launch); v != nil {
+				opts.Counters.Inc("analysis.bound.violations")
+				sp.Str("bound_violation", v.Error())
+				record(VariantResult{
+					Index: j.index, Name: j.prog.Name,
+					Attempts: attempts, StaticBound: unitBound, Err: v,
+				})
+				return
+			}
+		}
 		record(VariantResult{
 			Index: j.index, Name: j.prog.Name,
 			Measurement: m, Attempts: attempts, Stability: stabilityFor(m),
+			StaticBound: unitBound,
 		})
 	}
 

@@ -1,0 +1,30 @@
+package cliutil
+
+import (
+	"io"
+
+	"microtools/internal/verify"
+)
+
+// WriteDiagnostics is the one encoder behind every command that prints
+// verifier findings (`microtools vet`, `microtools analyze`, microcreator
+// -verify/-verify-json): an indented JSON array when jsonOut is set, one
+// line per finding otherwise. Routing all commands through it keeps their
+// outputs byte-identical, so downstream tooling can parse either command's
+// report with the same reader.
+func WriteDiagnostics(w io.Writer, ds verify.Diagnostics, jsonOut bool) error {
+	if jsonOut {
+		return ds.WriteJSON(w)
+	}
+	return ds.WriteText(w)
+}
+
+// DiagnosticsExitCode maps findings to the shared process exit status:
+// 1 when any error-severity finding is present, 0 for clean or
+// warnings/infos only.
+func DiagnosticsExitCode(ds verify.Diagnostics) int {
+	if ds.HasErrors() {
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"microtools/internal/analytic"
 	"microtools/internal/asm"
 	"microtools/internal/codegen"
+	"microtools/internal/dataflow"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
 	"microtools/internal/machine"
@@ -561,6 +563,62 @@ func ScreenTopK(ctx context.Context, progs []codegen.Program, machineName string
 			loopElems = 1
 		}
 		scores = append(scores, scored{idx: i, score: est.CyclesPerIter / loopElems})
+	}
+	sort.SliceStable(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
+	out := make([]codegen.Program, 0, k)
+	for _, s := range scores[:k] {
+		out = append(out, progs[s.idx])
+	}
+	return out, nil
+}
+
+// ScreenTopKStatic pre-ranks generated variants with the dataflow lower
+// bound (internal/dataflow) instead of the analytic steady-state model, and
+// returns the k statically most promising ones by CyclesLowerBound per
+// element. Unlike ScreenTopK it ignores the memory hierarchy entirely — the
+// bound only sees dependences, latencies and port pressure — which makes it
+// the right screen for cache-resident studies where the core, not the
+// memory system, separates the variants. Variants the analysis cannot bound
+// (no loop, no recognisable counter) rank last rather than failing the
+// screen.
+func ScreenTopKStatic(ctx context.Context, progs []codegen.Program, machineName string, accessWidth, k int) ([]codegen.Program, error) {
+	if k <= 0 || k >= len(progs) {
+		return progs, nil
+	}
+	m, err := machine.ByName(machineName)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, 0, len(progs))
+	for i := range progs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)
+		}
+		score := math.Inf(1)
+		if rep, err := dataflow.Analyze(p, m.Arch); err == nil {
+			loopElems := 0.0
+			for j := rep.LoopStart; j <= rep.LoopEnd; j++ {
+				in := &p.Insts[j]
+				if w := in.Op.MemWidth(); in.IsLoad() || in.IsStore() {
+					loopElems += float64(w) / float64(accessWidth)
+				}
+			}
+			if loopElems == 0 {
+				loopElems = 1
+			}
+			score = rep.CyclesLowerBound / loopElems
+		}
+		scores = append(scores, scored{idx: i, score: score})
 	}
 	sort.SliceStable(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
 	out := make([]codegen.Program, 0, k)

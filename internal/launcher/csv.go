@@ -12,7 +12,7 @@ import (
 var CSVHeader = []string{
 	"kernel", "mode", "cores", "unit", "value",
 	"min", "median", "mean", "max", "cv",
-	"iterations", "overhead_cycles", "truncated",
+	"iterations", "overhead_cycles", "static_bound", "truncated",
 	"energy_j", "avg_watts",
 }
 
@@ -46,6 +46,7 @@ func WriteCSV(w io.Writer, ms []*Measurement) error {
 			f(m.Summary.CV()),
 			strconv.FormatUint(m.Iterations, 10),
 			f(m.OverheadCycles),
+			staticBoundCell(m.StaticBound),
 			fmt.Sprintf("%t", m.Truncated),
 		}
 		if m.Energy != nil {
@@ -59,4 +60,14 @@ func WriteCSV(w io.Writer, ms []*Measurement) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// staticBoundCell renders the static lower bound, empty when no bound
+// applies (whole-call reporting, unknown counter step, or a report written
+// outside a campaign).
+func staticBoundCell(v float64) string {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

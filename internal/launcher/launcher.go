@@ -47,6 +47,11 @@ type Measurement struct {
 	// OverheadCycles is the calibrated per-call measurement overhead that
 	// was subtracted (§4.5).
 	OverheadCycles float64
+	// StaticBound is internal/dataflow's lower bound for the kernel in
+	// Value's unit and per-iteration basis (0 when unavailable). The
+	// launcher itself leaves it zero; internal/campaign fills it and
+	// asserts the oracle invariant against it behind Options.CheckBounds.
+	StaticBound float64
 	// Truncated reports that calls stopped at the instruction budget.
 	Truncated bool
 	// Arrays records the allocated base addresses (for reporting).
@@ -89,19 +94,24 @@ func NumArraysOf(p *isa.Program) int {
 // overhead. One shared instance serves every launch so its µop decode is
 // cached once per decode signature rather than redone per Launch call.
 var calibrationProgram = sync.OnceValue(func() *isa.Program {
-	p := &isa.Program{
+	return mustResolve(&isa.Program{
 		Name: "__calibrate",
 		Insts: []isa.Inst{
 			{Op: isa.XOR, A: isa.NewReg(isa.RAX), B: isa.NewReg(isa.RAX), NOps: 2},
 			{Op: isa.RET},
 		},
 		Labels: map[string]int{},
-	}
+	})
+})
+
+// mustResolve resolves a statically-known program; the inputs are compile-
+// time constants, so a resolution failure is a programming error.
+func mustResolve(p *isa.Program) *isa.Program {
 	if err := p.Resolve(); err != nil {
 		panic(err)
 	}
 	return p
-})
+}
 
 // pinOrder returns the core ids fork processes are pinned to. With socket
 // spreading, processes round-robin across sockets (the typical HPC layout

@@ -106,6 +106,7 @@ type reportEntry struct {
 	Summary         reportSummary   `json:"summary"`
 	Iterations      uint64          `json:"iterations"`
 	OverheadCycles  jsonFloat       `json:"overhead_cycles"`
+	StaticBound     jsonFloat       `json:"static_bound,omitempty"`
 	Truncated       bool            `json:"truncated"`
 	Arrays          []uint64        `json:"arrays,omitempty"`
 	Counters        *reportCounters `json:"counters,omitempty"`
@@ -145,6 +146,7 @@ func WriteJSON(w io.Writer, ms []*Measurement) error {
 			},
 			Iterations:     m.Iterations,
 			OverheadCycles: jsonFloat(m.OverheadCycles),
+			StaticBound:    jsonFloat(m.StaticBound),
 			Truncated:      m.Truncated,
 			Arrays:         m.Arrays,
 		}

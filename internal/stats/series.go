@@ -147,7 +147,7 @@ func (t *Table) CSVString() string {
 	var b strings.Builder
 	if err := t.WriteCSV(&b); err != nil {
 		// strings.Builder writes cannot fail; csv only fails on writer error.
-		panic(err)
+		panic(err) //microlint:disable L010 -- unreachable by construction
 	}
 	return b.String()
 }

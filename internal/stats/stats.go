@@ -29,7 +29,7 @@ type Summary struct {
 // the launcher never reports an experiment with zero repetitions.
 func Summarize(samples []float64) Summary {
 	if len(samples) == 0 {
-		panic("stats: Summarize on empty sample set")
+		panic("stats: Summarize on empty sample set") //microlint:disable L010 -- documented precondition, not an error path
 	}
 	s := Summary{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
 	var sum float64

@@ -45,9 +45,11 @@ func AsmProgram(src, name string, opt Options) (*isa.Program, Diagnostics) {
 
 // Program runs the asm-level rules over a decoded program: operand-form
 // legality (V001), memory bases defined before use (V002), alignment of
-// packed accesses and their strides (V004), and loop structure — resolved
+// packed accesses and their strides (V004), loop structure — resolved
 // branch targets, a flag-setting induction update inside every loop, and a
-// RET terminator (V006).
+// RET terminator (V006) — plus, on structurally sound programs, the
+// dataflow-backed rules: dead register writes (V009), redundant self moves
+// (V010) and the optional loop-carried recurrence report (V011).
 func Program(p *isa.Program, name string, opt Options) Diagnostics {
 	if name == "" {
 		name = p.Name
@@ -126,6 +128,11 @@ func Program(p *isa.Program, name string, opt Options) Diagnostics {
 				"induction update %s $%d, %s misaligns the %d-byte aligned accesses through it",
 				in.Op, in.A.Imm, in.B.Reg, w)
 		}
+	}
+	// The dataflow-backed rules need a decodable program; a structurally
+	// broken one is already explained by the findings above.
+	if !ds.HasErrors() {
+		dataflowRules(p, opt, add)
 	}
 	return ds
 }

@@ -19,6 +19,12 @@
 //	V007  pressure     register pressure against the 16+16 register file
 //	V008  expansion    variant count vs. the product of the spec's choice
 //	                   lists
+//	V009  dead-write   register writes no instruction can read (liveness,
+//	                   via internal/dataflow; memory-accessing producers
+//	                   are exempt — the access is the workload)
+//	V010  self-move    register-to-register moves onto the same register
+//	V011  recurrence   info-level report of loop-carried dependence
+//	                   cycles and their lengths (Options.Recurrences)
 //
 // Entry points: Kernel verifies a lowered ir.Kernel, Asm / Program verify
 // emitted assembly, ExpectedVariants + Expansion implement the expansion
@@ -45,6 +51,9 @@ const (
 	RuleLoop             = "V006"
 	RulePressure         = "V007"
 	RuleExpansion        = "V008"
+	RuleDeadWrite        = "V009"
+	RuleSelfMove         = "V010"
+	RuleRecurrence       = "V011"
 )
 
 // Severity grades a diagnostic.
@@ -216,6 +225,11 @@ type Options struct {
 	// x86-64 defaults of 16 each.
 	GPRFile int
 	XMMFile int
+	// Recurrences additionally emits the V011 info findings describing
+	// each loop-carried dependence cycle (off by default: every healthy
+	// loop kernel has at least its induction recurrence, so the findings
+	// are informative rather than actionable).
+	Recurrences bool
 }
 
 func (o Options) suppressed(rule string) bool {

@@ -428,3 +428,67 @@ func TestSeedSpecsVerifyClean(t *testing.T) {
 		}
 	}
 }
+
+// --- dataflow-backed rules (V009-V011) --------------------------------------
+
+func TestAsmDeadWriteWarning(t *testing.T) {
+	src := `
+golden:
+.L0:
+    mov $7, %rcx
+    movss (%rsi), %xmm0
+    add $4, %rsi
+    sub $1, %rdi
+    jge .L0
+    ret
+`
+	ds := verify.Asm(src, "golden", verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleDeadWrite || ds[0].Severity != verify.SeverityWarning {
+		t.Fatalf("want one %s warning for the unread %%rcx write, got %v", verify.RuleDeadWrite, ds)
+	}
+	if ds[0].Instr != 0 {
+		t.Errorf("dead write reported at %d, want instruction 0", ds[0].Instr)
+	}
+	// The load's unread %xmm0 must stay exempt: the access is the
+	// workload.
+	if strings.Contains(ds[0].Message, "xmm0") {
+		t.Errorf("load destination flagged as dead: %v", ds[0])
+	}
+}
+
+func TestAsmSelfMoveWarning(t *testing.T) {
+	src := strings.Replace(goodAsm, "    add $4, %rsi\n", "    add $4, %rsi\n    mov %rdx, %rdx\n", 1)
+	ds := verify.Asm(src, "golden", verify.Options{})
+	if len(ds) != 1 || ds[0].Rule != verify.RuleSelfMove || ds[0].Severity != verify.SeverityWarning {
+		t.Fatalf("want one %s warning for mov %%rdx, %%rdx, got %v", verify.RuleSelfMove, ds)
+	}
+}
+
+func TestAsmRecurrenceInfoOptIn(t *testing.T) {
+	// Off by default: the clean kernel stays finding-free.
+	if ds := verify.Asm(goodAsm, "golden", verify.Options{}); len(ds) != 0 {
+		t.Fatalf("V011 leaked without opt-in: %v", ds)
+	}
+	ds := verify.Asm(goodAsm, "golden", verify.Options{Recurrences: true})
+	if len(ds) == 0 {
+		t.Fatal("no V011 findings with Recurrences on")
+	}
+	for _, d := range ds {
+		if d.Rule != verify.RuleRecurrence || d.Severity != verify.SeverityInfo {
+			t.Errorf("unexpected finding: %v", d)
+		}
+	}
+	if ds.HasErrors() {
+		t.Errorf("info findings must not fail enforcement: %v", ds)
+	}
+	// The induction registers recur: expect %rsi (and %rdi) among them.
+	found := false
+	for _, d := range ds {
+		if strings.Contains(d.Message, "%rsi") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no recurrence through %%rsi reported: %v", ds)
+	}
+}
