@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json fuzz-smoke telemetry-smoke analyze-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json bench-guard fuzz-smoke telemetry-smoke analyze-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build, the full test suite under the race
 # detector, a single-iteration pass of the hot-path benchmarks so they
-# cannot rot between perf-focused PRs, a static analysis of every shipped
-# spec, and a live scrape of the telemetry endpoints through the real CLI.
-ci: fmt-check vet lint build race bench-smoke analyze-smoke telemetry-smoke
+# cannot rot between perf-focused PRs, the allocation guard on the campaign
+# sweep, a static analysis of every shipped spec, and a live scrape of the
+# telemetry endpoints through the real CLI.
+ci: fmt-check vet lint build race bench-smoke bench-guard analyze-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -45,7 +46,7 @@ bench:
 # tracks in BENCH_sim.json (see README): one repetition, the full launcher
 # protocol with telemetry off and on (the pair bounds instrumentation
 # overhead), and the campaign sweep serial plus across worker counts.
-HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers|BenchmarkAnalyze|BenchmarkScreenStatic)$$
+HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkVariantMaterialize|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers|BenchmarkAnalyze|BenchmarkScreenStatic)$$
 
 # bench-smoke compiles and runs each hot-path benchmark exactly once — a CI
 # guard that they keep working, not a measurement.
@@ -58,6 +59,22 @@ LABEL ?= local
 bench-json:
 	$(GO) test -run='^$$' -bench '$(HOT_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label '$(LABEL)' -o BENCH_sim.json
+
+# bench-guard runs the campaign sweep benchmark once and fails if its
+# allocs/op exceed the committed ceiling in bench_guard_allocs.txt —
+# wall-clock noise cannot trip it, allocation regressions in the variant
+# pipeline always do. Raise the ceiling only with a justification in the
+# same commit.
+bench-guard:
+	@limit="$$(cat bench_guard_allocs.txt)"; \
+	out="$$($(GO) test -run='^$$' -bench '^BenchmarkCampaignSweep$$' -benchtime=1x -benchmem . | tee /dev/stderr)"; \
+	allocs="$$(echo "$$out" | awk '/^BenchmarkCampaignSweep/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}')"; \
+	if [ -z "$$allocs" ]; then echo "bench-guard: could not parse allocs/op"; exit 1; fi; \
+	if [ "$$allocs" -gt "$$limit" ]; then \
+		echo "bench-guard: BenchmarkCampaignSweep allocated $$allocs objs/op, ceiling is $$limit"; \
+		exit 1; \
+	fi; \
+	echo "bench-guard: $$allocs allocs/op <= $$limit"
 
 # telemetry-smoke starts a real study with -telemetry-addr on an ephemeral
 # port, scrapes /metrics and /debug/campaigns mid-run, and asserts the

@@ -18,6 +18,7 @@ import (
 
 	"microtools/internal/analytic"
 	"microtools/internal/asm"
+	"microtools/internal/codegen"
 	"microtools/internal/core"
 	"microtools/internal/cpu"
 	"microtools/internal/dataflow"
@@ -28,6 +29,7 @@ import (
 	"microtools/internal/sim"
 	"microtools/internal/stats"
 	"microtools/internal/telemetry"
+	"microtools/internal/verify"
 )
 
 // runExperiment executes one registered experiment per benchmark iteration
@@ -415,11 +417,9 @@ func BenchmarkVerifyVariants(b *testing.B) {
 			if progs[i].Parsed != nil {
 				continue
 			}
-			p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
-			if err != nil {
+			if _, err := progs[i].Lowered(); err != nil {
 				b.Fatal(err)
 			}
-			progs[i].Parsed = p
 		}
 		return len(progs)
 	}
@@ -476,7 +476,7 @@ func BenchmarkAnalyze(b *testing.B) {
 	arch := isa.Nehalem()
 	kernels := make([]*Kernel, len(progs))
 	for i := range progs {
-		k, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		k, err := progs[i].Lowered()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -528,7 +528,7 @@ func BenchmarkScreenStatic(b *testing.B) {
 	opts.ArrayBytes = 4 << 10
 	opts.InnerReps = 1
 	opts.OuterReps = 2
-	kernel, err := asm.ParseOne(progs[0].Assembly, progs[0].Name)
+	kernel, err := progs[0].Lowered()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -719,6 +719,39 @@ func BenchmarkLauncherProtocol(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := launcher.LaunchOn(context.Background(), mach, prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVariantMaterialize measures the per-variant materialization
+// path the IR-first pipeline pays between generation and launch: lower the
+// kernel IR to its decoded program, run the per-program verifier rules on
+// it, and decode it for the baseline microarchitecture. This is the fixed
+// static cost of every variant in a sweep before any simulation happens —
+// the number that regresses when text rendering or string building sneaks
+// back into the hot path.
+func BenchmarkVariantMaterialize(b *testing.B) {
+	progs, err := core.Generate(context.Background(), strings.NewReader(fig6Spec()), core.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A mid-family variant: unrolled enough that the body dominates the
+	// prologue, small enough to stay representative of the whole family.
+	k := progs[len(progs)/2].Kernel
+	arch := isa.Nehalem()
+	opt := verify.Options{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, err := codegen.Lower(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds := verify.Program(parsed, parsed.Name, opt); len(ds) > 0 {
+			b.Fatalf("verify: %v", ds)
+		}
+		if _, err := parsed.Decoded(arch); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -150,7 +150,7 @@ func main() {
 		}
 		defects := 0
 		for i := range progs {
-			kernel, err := core.LoadKernel(progs[i].Assembly, "")
+			kernel, err := progs[i].Lowered()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "microcreator: %s: %v\n", progs[i].Name, err)
 				os.Exit(1)

@@ -102,3 +102,35 @@ func TestRepoIsLintClean(t *testing.T) {
 		}
 	}
 }
+
+// TestHotPathFixtureTripsL011: the hot-path fixture (its path contains
+// internal/passes/) seeds three retained-formatting violations and one
+// suppressed store; the clean fixture under internal/campaign/ has none.
+func TestHotPathFixtureTripsL011(t *testing.T) {
+	ds := lintPath(t, filepath.Join("testdata", "src", "hot", "internal", "passes", "hot_bad.go"))
+	n := 0
+	for _, d := range ds {
+		if d.Rule != "L011" {
+			t.Errorf("unexpected rule in hot fixture: %v", d)
+			continue
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("L011 findings = %d, want 3 (suppressed store must not count): %v", n, ds)
+	}
+	if ds := lintPath(t, filepath.Join("testdata", "src", "hot", "internal", "campaign", "hot_clean.go")); len(ds) != 0 {
+		t.Errorf("clean hot-path fixture produced diagnostics: %v", ds)
+	}
+}
+
+// TestL011OnlyInHotPackages: the same retained store outside the hot-path
+// packages is not flagged — the bad fixture (testdata/src/bad) carries no
+// L011 findings even though it formats freely.
+func TestL011OnlyInHotPackages(t *testing.T) {
+	for _, d := range lintPath(t, filepath.Join("testdata", "src", "bad", "bad.go")) {
+		if d.Rule == "L011" {
+			t.Errorf("L011 fired outside the hot-path packages: %v", d)
+		}
+	}
+}

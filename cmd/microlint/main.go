@@ -38,6 +38,14 @@
 //	      the exit decision to the caller. The two conventional exceptions
 //	      are Must*/must* helpers (whose name announces the panic) and
 //	      init functions (where no error path exists).
+//	L011  no retained formatted strings in the variant hot path: inside
+//	      internal/codegen, internal/campaign and internal/passes, a
+//	      fmt.Sprintf result or a string concatenation must not be stored
+//	      into a struct field (assignment or composite literal) — these
+//	      packages run once per generated variant, and a retained rendering
+//	      is how the materialization wall the IR-first pipeline removed
+//	      creeps back in. Build strings lazily (render methods, Append*
+//	      helpers) or prove the store is cold and disable the finding.
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -177,6 +185,9 @@ type fileContext struct {
 	// telemetry, the one place process-wide metric state may live (L008).
 	obs       bool
 	telemetry bool
+	// hotpath is true inside the per-variant pipeline packages where rule
+	// L011 (no retained formatted strings) applies.
+	hotpath bool
 	// parents maps every node to its syntactic parent.
 	parents map[ast.Node]ast.Node
 	// suppressed maps line -> rule IDs disabled there ("" disables all).
@@ -193,13 +204,16 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	}
 	slash := filepath.ToSlash(path)
 	ctx := &fileContext{
-		fset:       fset,
-		file:       f,
-		path:       path,
-		imports:    importNames(f),
-		library:    f.Name.Name != "main",
-		obs:        strings.Contains(slash, "internal/obs/"),
-		telemetry:  strings.Contains(slash, "internal/telemetry/"),
+		fset:      fset,
+		file:      f,
+		path:      path,
+		imports:   importNames(f),
+		library:   f.Name.Name != "main",
+		obs:       strings.Contains(slash, "internal/obs/"),
+		telemetry: strings.Contains(slash, "internal/telemetry/"),
+		hotpath: strings.Contains(slash, "internal/codegen/") ||
+			strings.Contains(slash, "internal/campaign/") ||
+			strings.Contains(slash, "internal/passes/"),
 		parents:    buildParents(f),
 		suppressed: suppressions(fset, f),
 	}
@@ -212,6 +226,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkMetricState(ctx)
 	checkRunParallel(ctx)
 	checkPanics(ctx)
+	checkRetainedFormat(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
 		if !ctx.isSuppressed(d) {
@@ -797,4 +812,83 @@ func chainCallsEnd(c *fileContext, sel *ast.SelectorExpr) bool {
 			return false
 		}
 	}
+}
+
+// checkRetainedFormat implements L011: in the per-variant hot-path packages
+// (internal/codegen, internal/campaign, internal/passes) a fmt.Sprintf
+// result or a string concatenation stored into a struct field is a retained
+// rendering — the allocation pattern the IR-first pipeline exists to avoid.
+// Locals, arguments and return values are fine; only field stores (plain
+// assignment or composite-literal element) are flagged.
+func checkRetainedFormat(c *fileContext) {
+	if !c.hotpath {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if i >= len(n.Rhs) {
+					continue
+				}
+				if kind := formattedStringKind(c, n.Rhs[i]); kind != "" {
+					c.report(n.Rhs[i].Pos(), "L011",
+						"%s stored into a struct field is retained per variant — render lazily or append into a pooled buffer", kind)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if _, ok := kv.Key.(*ast.Ident); !ok {
+					continue
+				}
+				if kind := formattedStringKind(c, kv.Value); kind != "" {
+					c.report(kv.Value.Pos(), "L011",
+						"%s stored into a struct field is retained per variant — render lazily or append into a pooled buffer", kind)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// formattedStringKind classifies e as a retained-formatting expression:
+// a fmt.Sprintf call, or a + concatenation with a string literal operand
+// (the literal is what betrays string concatenation without type
+// information). Anything else returns "".
+func formattedStringKind(c *fileContext, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok &&
+				c.imports[id.Name] == "fmt" && sel.Sel.Name == "Sprintf" {
+				return "fmt.Sprintf result"
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && hasStringLit(e) {
+			return "string concatenation"
+		}
+	}
+	return ""
+}
+
+// hasStringLit reports whether a +-expression tree contains a string
+// literal operand.
+func hasStringLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.STRING
+	case *ast.BinaryExpr:
+		return e.Op == token.ADD && (hasStringLit(e.X) || hasStringLit(e.Y))
+	case *ast.ParenExpr:
+		return hasStringLit(e.X)
+	}
+	return false
 }

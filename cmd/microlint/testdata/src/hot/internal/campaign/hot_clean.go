@@ -1,0 +1,21 @@
+// Package campaign is the clean hot-path fixture: formatting into locals,
+// arguments and returns, plus field stores of unformatted values, none of
+// which L011 flags.
+package campaign
+
+import "fmt"
+
+type result struct {
+	key   string
+	count int
+}
+
+func record(key string, n int) *result {
+	r := &result{key: key, count: n}
+	r.key = key // plain stores are fine
+	return r
+}
+
+func describe(r *result) string {
+	return fmt.Sprintf("%s: %d", r.key, r.count)
+}

@@ -1,0 +1,46 @@
+// Package passes seeds L011 violations: its file path places it inside the
+// per-variant hot path (internal/passes), where retained formatted strings
+// are flagged.
+package passes
+
+import "fmt"
+
+type variant struct {
+	name string
+	tag  string
+}
+
+// retainSprintf trips L011: the Sprintf result lives as long as the struct.
+func retainSprintf(i int) *variant {
+	v := &variant{}
+	v.name = fmt.Sprintf("variant_%d", i)
+	return v
+}
+
+// retainConcat trips L011 twice: a concatenation assigned to a field and
+// one inside a composite literal.
+func retainConcat(base string) *variant {
+	v := &variant{tag: base + "_u4"}
+	v.name = "k_" + base
+	return v
+}
+
+// suppressed is exempted by the escape comment: the store is once per
+// campaign, not per variant.
+func suppressed(base string) *variant {
+	v := &variant{}
+	v.name = fmt.Sprintf("campaign_%s", base) //microlint:disable L011
+	return v
+}
+
+// locals shows the clean shapes: locals, call arguments and return values
+// may format freely — nothing is retained.
+func locals(i int) string {
+	s := fmt.Sprintf("tmp_%d", i)
+	use(fmt.Sprintf("arg_%d", i))
+	n := i + 1 // numeric + is not a concatenation
+	_ = n
+	return s + "!"
+}
+
+func use(string) {}

@@ -166,7 +166,7 @@ func runAnalyze(ctx context.Context, args []string) {
 				fail(err)
 			}
 			for i := range progs {
-				k, err := core.LoadKernel(progs[i].Assembly, "")
+				k, err := progs[i].Lowered()
 				if err != nil {
 					fail(fmt.Errorf("%s: %s: %w", path, progs[i].Name, err))
 				}
@@ -654,8 +654,8 @@ func main() {
 				partial = true
 			}
 			if *vFlag && res != nil {
-				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures, %d retries, %d quarantined\n",
-					res.Emitted, res.Launches, res.CacheHits, res.Failures, res.Retries, res.Quarantined)
+				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures, %d retries, %d quarantined, %d key errors\n",
+					res.Emitted, res.Launches, res.CacheHits, res.Failures, res.Retries, res.Quarantined, res.KeyErrors)
 			}
 			ms = res.Measurements()
 		}

@@ -46,7 +46,11 @@ func TestStaticBoundNeverExceedsSimulation(t *testing.T) {
 			if i%29 != 0 {
 				continue // sample large families; small ones are covered fully
 			}
-			kernel, err := LoadKernel(p.Assembly, "")
+			asmText, err := p.Assembly()
+			if err != nil {
+				t.Fatalf("%s: %s does not render: %v", path, p.Name, err)
+			}
+			kernel, err := LoadKernel(asmText, "")
 			if err != nil {
 				t.Fatalf("%s: %s does not reload: %v", path, p.Name, err)
 			}

@@ -88,7 +88,7 @@ func main() {
 	)
 	var ms []*microtools.Measurement
 	for _, p := range progs {
-		kernel, err := microtools.LoadKernel(p.Assembly, "")
+		kernel, err := p.Lowered()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -85,7 +85,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("MicroCreator generated %d stencil variants\n\n", len(progs))
-	fmt.Println(progs[len(progs)-1].Assembly)
+	lastAsm, err := progs[len(progs)-1].Assembly()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lastAsm)
 
 	desc, err := microtools.MachineByName("nehalem-dual/8")
 	if err != nil {
@@ -109,7 +113,7 @@ func main() {
 	for _, level := range levels {
 		fmt.Printf("%-8s", level.name)
 		for _, p := range progs {
-			kernel, err := microtools.LoadKernel(p.Assembly, "")
+			kernel, err := p.Lowered()
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -126,7 +130,11 @@ func main() {
 			// One iteration computes 4*u stencil points (packed
 			// singles); derive u from the variant's add count so the
 			// normalization also holds for truncated RAM runs.
-			u := float64(strings.Count(p.Assembly, "\n    addps")) / 2
+			asmText, err := p.Assembly()
+			if err != nil {
+				log.Fatal(err)
+			}
+			u := float64(strings.Count(asmText, "\n    addps")) / 2
 			fmt.Printf("%22.3f", m.Value/(4*u))
 		}
 		fmt.Println()

@@ -43,7 +43,10 @@ func staticBoundCore(kernel *isa.Program, arch *isa.Arch, launch launcher.Option
 	if arch == nil || !launch.PerIteration {
 		return 0
 	}
-	rep, err := dataflow.Analyze(kernel, arch)
+	// KernelBounds computes exactly the Report fields consumed here and is
+	// memoized on the kernel's decode, so recomputing the bound for cache
+	// hits, retries and relaunches costs a lookup, not an analysis.
+	rep, err := dataflow.KernelBounds(kernel, arch)
 	if err != nil || rep.CounterStep <= 0 {
 		return 0
 	}

@@ -21,17 +21,24 @@ import (
 // serving stale ones.
 const keyVersion = "microtools-campaign-v1"
 
-// Key derives the content-addressed cache key for measuring a kernel under
-// the given options: SHA-256 over (1) the canonical kernel assembly — the
-// decoded program re-printed, so formatting-only differences in the input
-// text hash identically; (2) every measurement-relevant launcher option
-// (output writers and tracers excluded); and (3) the resolved machine
-// model's parameters, so editing a machine description invalidates entries
-// measured under the old model.
-func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
-	if kernel == nil {
-		return "", fmt.Errorf("campaign: nil kernel")
-	}
+// Keyer derives content-addressed cache keys for one campaign's launch
+// options. The key recipe is SHA-256 over (1) the canonical kernel assembly
+// — the decoded program re-printed, so formatting-only differences in the
+// input text hash identically; (2) every measurement-relevant launcher
+// option (output writers and tracers excluded); and (3) the resolved
+// machine model's parameters, so editing a machine description invalidates
+// entries measured under the old model. The option and machine parts are
+// variant-independent, so a Keyer marshals them once and per-variant key
+// derivation streams the kernel rendering through the hash from a pooled
+// buffer — no per-key JSON, no per-key assembly string.
+type Keyer struct {
+	// fixed is the variant-independent tail of the hashed bytes:
+	// optJSON \0 machJSON \0.
+	fixed []byte
+}
+
+// NewKeyer resolves and marshals the variant-independent key parts.
+func NewKeyer(opts launcher.Options) (*Keyer, error) {
 	scrub := opts
 	scrub.Verbose = nil
 	scrub.Tracer = nil
@@ -39,11 +46,11 @@ func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
 	scrub.Metrics = nil // live instrumentation observes the run, it is not part of it
 	optJSON, err := json.Marshal(scrub)
 	if err != nil {
-		return "", fmt.Errorf("campaign: hashing options: %w", err)
+		return nil, fmt.Errorf("campaign: hashing options: %w", err)
 	}
 	desc, err := machine.ByName(opts.MachineName)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	// The machine model without its Arch pointer (the name identifies the
 	// ISA/uarch tables; the measurable parameters are listed explicitly).
@@ -59,14 +66,50 @@ func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
 	}{desc.Name, desc.Cores, desc.Sockets, desc.CoreGHz, desc.UncoreGHz,
 		desc.RefGHz, desc.Hierarchy, desc.FrequencyStepsGHz})
 	if err != nil {
-		return "", fmt.Errorf("campaign: hashing machine model: %w", err)
+		return nil, fmt.Errorf("campaign: hashing machine model: %w", err)
 	}
-	h := sha256.New()
-	for _, part := range [][]byte{[]byte(keyVersion), []byte(kernel.Print()), optJSON, machJSON} {
-		h.Write(part)
-		h.Write([]byte{0})
+	fixed := make([]byte, 0, len(optJSON)+len(machJSON)+2)
+	fixed = append(fixed, optJSON...)
+	fixed = append(fixed, 0)
+	fixed = append(fixed, machJSON...)
+	fixed = append(fixed, 0)
+	return &Keyer{fixed: fixed}, nil
+}
+
+// keyBufPool recycles the rendering buffers Keyer.Key hashes from.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// Key derives the cache key for one kernel. The digest is identical to the
+// package-level Key: SHA-256 over the NUL-separated parts, with the kernel
+// rendering appended via AppendPrint instead of materialized as a string.
+func (ky *Keyer) Key(kernel *isa.Program) (string, error) {
+	if kernel == nil {
+		return "", fmt.Errorf("campaign: nil kernel")
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	bp := keyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, keyVersion...)
+	buf = append(buf, 0)
+	buf = kernel.AppendPrint(buf)
+	buf = append(buf, 0)
+	buf = append(buf, ky.fixed...)
+	sum := sha256.Sum256(buf)
+	*bp = buf
+	keyBufPool.Put(bp)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Key derives the content-addressed cache key for measuring a kernel under
+// the given options (see Keyer). One-shot form: campaigns reuse a Keyer.
+func Key(kernel *isa.Program, opts launcher.Options) (string, error) {
+	ky, err := NewKeyer(opts)
+	if err != nil {
+		return "", err
+	}
+	return ky.Key(kernel)
 }
 
 // cacheEntry is one JSONL line of the on-disk store.

@@ -45,7 +45,6 @@ import (
 	"sync"
 	"time"
 
-	"microtools/internal/asm"
 	"microtools/internal/codegen"
 	"microtools/internal/core"
 	"microtools/internal/faults"
@@ -242,6 +241,10 @@ type Result struct {
 	// Quarantined counts variants withdrawn after Options.Quarantine
 	// consecutive failed attempts.
 	Quarantined int
+	// KeyErrors counts variants whose cache key could not be derived: those
+	// variants were measured but neither consulted nor populated the cache,
+	// so a warm re-run repeats their launches.
+	KeyErrors int
 }
 
 // Measurements returns the successful measurements in generation order
@@ -364,6 +367,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		launches    int
 		retries     int
 		quarantined int
+		keyErrors   int
 	)
 	report := func() {
 		if opts.Progress == nil {
@@ -429,6 +433,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			Launches:    launches,
 			Retries:     retries,
 			Quarantined: quarantined,
+			KeyErrors:   keyErrors,
 		}
 		mu.Unlock()
 		live.Update(upd)
@@ -457,6 +462,15 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	if boundArch == nil {
 		boundArch = decodeArch
 	}
+	// Derive the variant-independent cache-key parts once per campaign. A
+	// keyer error (unresolvable machine, unmarshalable options) would have
+	// failed every per-variant Key call identically, so it is carried into
+	// the loop and surfaces as a counted key error on each variant.
+	var keyer *Keyer
+	var keyerErr error
+	if opts.Cache != nil {
+		keyer, keyerErr = NewKeyer(opts.Launch)
+	}
 
 	// attempt runs one launch try, consulting the worker-launch injection
 	// point first; an injected fault there models the worker dying before
@@ -478,15 +492,14 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		sp := root.Child("variant").Str("kernel", j.prog.Name).Int("index", int64(j.index))
 		defer sp.End()
 		opts.Counters.Inc("campaign.variants")
-		kernel := j.prog.Parsed
-		if kernel == nil {
-			var err error
-			kernel, err = asm.ParseOne(j.prog.Assembly, j.prog.Name)
-			if err != nil {
-				sp.Str("error", err.Error())
-				record(VariantResult{Index: j.index, Name: j.prog.Name, Err: err})
-				return
-			}
+		// Every pipeline path populates Parsed at emit time; Lowered only
+		// lowers the kernel itself for hand-built programs, so no variant
+		// re-parses assembly text here.
+		kernel, err := j.prog.Lowered()
+		if err != nil {
+			sp.Str("error", err.Error())
+			record(VariantResult{Index: j.index, Name: j.prog.Name, Err: err})
+			return
 		}
 		// The static bound is a pure function of the kernel and the
 		// machine, so it is computed for hits and misses alike (cache
@@ -495,7 +508,11 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		unitBound := boundInUnit(coreBound, launchDesc, opts.Launch)
 		var key string
 		if opts.Cache != nil {
-			k, err := Key(kernel, opts.Launch)
+			var k string
+			err := keyerErr
+			if keyer != nil {
+				k, err = keyer.Key(kernel)
+			}
 			if err == nil {
 				key = k
 				if m, ok := opts.Cache.Get(key); ok {
@@ -518,6 +535,13 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 				sp.Child("cache.miss").End()
 				opts.Counters.Inc("campaign.cache.misses")
 			} else {
+				// A variant without a key is measured but bypasses the
+				// cache entirely; count it so warm-rerun regressions are
+				// visible instead of silently re-launching.
+				opts.Counters.Inc("campaign.cache.key_errors")
+				mu.Lock()
+				keyErrors++
+				mu.Unlock()
 				sp.Str("cache_key_error", err.Error())
 			}
 		}
@@ -541,7 +565,6 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 
 		budget := opts.Retry.attempts()
 		var m *launcher.Measurement
-		var err error
 		attempts := 0
 		isQuarantined := false
 		for {
@@ -640,6 +663,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		Failures:    failed,
 		Retries:     retries,
 		Quarantined: quarantined,
+		KeyErrors:   keyErrors,
 	}
 	gerr := genErr
 	mu.Unlock()
@@ -649,7 +673,8 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		Int("cache_hits", int64(res.CacheHits)).
 		Int("failures", int64(res.Failures)).
 		Int("retries", int64(res.Retries)).
-		Int("quarantined", int64(res.Quarantined))
+		Int("quarantined", int64(res.Quarantined)).
+		Int("key_errors", int64(res.KeyErrors))
 
 	// Close the live-tracked campaign on every exit path: one final
 	// progress update carrying the run's aggregate accounting, then the
@@ -665,6 +690,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			Launches:    res.Launches,
 			Retries:     res.Retries,
 			Quarantined: res.Quarantined,
+			KeyErrors:   res.KeyErrors,
 		})
 		live.End(err)
 		return res, err

@@ -3,6 +3,9 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -14,6 +17,8 @@ import (
 	"microtools/internal/core"
 	"microtools/internal/isa"
 	"microtools/internal/launcher"
+	"microtools/internal/machine"
+	"microtools/internal/memsim"
 	"microtools/internal/obs"
 )
 
@@ -376,5 +381,70 @@ func TestTracerRecordsCampaignSpans(t *testing.T) {
 	}
 	if names["cache.miss"] != 4 || names["cache.hit"] != 4 {
 		t.Errorf("cache spans hit=%d miss=%d, want 4/4", names["cache.hit"], names["cache.miss"])
+	}
+}
+
+// TestKeyerMatchesStreamedRecipe pins the Keyer's single-buffer digest to
+// the original streamed recipe (hash each NUL-terminated part separately):
+// a pre-refactor on-disk cache must stay warm, so the bytes under SHA-256
+// cannot change. The recipe is reimplemented here verbatim as the oracle.
+func TestKeyerMatchesStreamedRecipe(t *testing.T) {
+	opts := quickLaunch()
+	prog, err := core.LoadKernel(kernelAsm("k", 2), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrub := opts
+	scrub.Verbose = nil
+	scrub.Tracer = nil
+	scrub.Faults = nil
+	scrub.Metrics = nil
+	optJSON, err := json.Marshal(scrub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := machine.ByName(opts.MachineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machJSON, err := json.Marshal(struct {
+		Name              string
+		Cores             int
+		Sockets           int
+		CoreGHz           float64
+		UncoreGHz         float64
+		RefGHz            float64
+		Hierarchy         memsim.HierarchyConfig
+		FrequencyStepsGHz []float64
+	}{desc.Name, desc.Cores, desc.Sockets, desc.CoreGHz, desc.UncoreGHz,
+		desc.RefGHz, desc.Hierarchy, desc.FrequencyStepsGHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, part := range [][]byte{[]byte(keyVersion), []byte(prog.Print()), optJSON, machJSON} {
+		h.Write(part)
+		h.Write([]byte{0})
+	}
+	want := hex.EncodeToString(h.Sum(nil))
+
+	got, err := Key(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Keyer digest %s diverged from the streamed recipe %s: on-disk caches would go cold", got, want)
+	}
+	// And the reusable Keyer agrees with the one-shot form.
+	ky, err := NewKeyer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ky.Key(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Fatalf("Keyer.Key %s diverged from the streamed recipe %s", again, want)
 	}
 }

@@ -185,16 +185,24 @@ func WritePrograms(progs []codegen.Program, dir string) ([]string, error) {
 	}
 	var paths []string
 	for _, p := range progs {
-		if p.Assembly != "" {
+		if p.EmitAssembly {
+			asmText, err := p.Assembly()
+			if err != nil {
+				return nil, err
+			}
 			path := fmt.Sprintf("%s/%s.s", dir, p.Name)
-			if err := os.WriteFile(path, []byte(p.Assembly), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(asmText), 0o644); err != nil {
 				return nil, err
 			}
 			paths = append(paths, path)
 		}
-		if p.CSource != "" {
+		if p.EmitC {
+			cSrc, err := p.CSource()
+			if err != nil {
+				return nil, err
+			}
 			path := fmt.Sprintf("%s/%s.c", dir, p.Name)
-			if err := os.WriteFile(path, []byte(p.CSource), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(cSrc), 0o644); err != nil {
 				return nil, err
 			}
 			paths = append(paths, path)
@@ -428,13 +436,11 @@ func ctxDone(ctx context.Context) <-chan struct{} {
 }
 
 func launchOne(ctx context.Context, p *codegen.Program, opts launcher.Options) (*launcher.Measurement, error) {
-	kernel := p.Parsed // decoded by the verify-variants pass; reuse when cached
-	if kernel == nil {
-		var err error
-		kernel, err = asm.ParseOne(p.Assembly, p.Name)
-		if err != nil {
-			return nil, err
-		}
+	// The emit pass lowers pipeline programs; Lowered only falls back to
+	// lowering the kernel for hand-built programs.
+	kernel, err := p.Lowered()
+	if err != nil {
+		return nil, err
 	}
 	return launcher.Launch(ctx, kernel, opts)
 }
@@ -542,7 +548,7 @@ func ScreenTopK(ctx context.Context, progs []codegen.Program, machineName string
 				return nil, err
 			}
 		}
-		p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		p, err := progs[i].Lowered()
 		if err != nil {
 			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)
 		}
@@ -600,7 +606,7 @@ func ScreenTopKStatic(ctx context.Context, progs []codegen.Program, machineName 
 				return nil, err
 			}
 		}
-		p, err := asm.ParseOne(progs[i].Assembly, progs[i].Name)
+		p, err := progs[i].Lowered()
 		if err != nil {
 			return nil, fmt.Errorf("core: screening %s: %w", progs[i].Name, err)
 		}

@@ -41,8 +41,15 @@ func TestGenerateString(t *testing.T) {
 		t.Fatalf("generated %d programs, want 2", len(progs))
 	}
 	for _, p := range progs {
-		if p.Assembly == "" || p.CSource == "" {
+		if !p.EmitAssembly || !p.EmitC {
 			t.Errorf("%s: missing output format", p.Name)
+			continue
+		}
+		if asmText, err := p.Assembly(); err != nil || asmText == "" {
+			t.Errorf("%s: assembly render: %q, %v", p.Name, asmText, err)
+		}
+		if cSrc, err := p.CSource(); err != nil || cSrc == "" {
+			t.Errorf("%s: C render: %q, %v", p.Name, cSrc, err)
 		}
 	}
 }
@@ -154,13 +161,21 @@ func TestLoadKernelFromCSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range progs {
-		fromAsm, err := LoadKernel(p.Assembly, "")
+		asmText, err := p.Assembly()
 		if err != nil {
 			t.Fatal(err)
 		}
-		fromC, err := LoadKernel(p.CSource, "")
+		cSrc, err := p.CSource()
 		if err != nil {
-			t.Fatalf("%s: C input rejected: %v\n%s", p.Name, err, p.CSource)
+			t.Fatal(err)
+		}
+		fromAsm, err := LoadKernel(asmText, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromC, err := LoadKernel(cSrc, "")
+		if err != nil {
+			t.Fatalf("%s: C input rejected: %v\n%s", p.Name, err, cSrc)
 		}
 		if fromC.Name != fromAsm.Name || len(fromC.Insts) != len(fromAsm.Insts) {
 			t.Errorf("%s: C and assembly inputs diverge (%d vs %d insts)",
@@ -325,7 +340,9 @@ func TestLaunchAllIsolatesVariantFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	broken := codegen.Program{Name: "broken_variant", Assembly: "this is not assembly ???"}
+	// No kernel and no parsed form: Lowered fails at launch time, the
+	// modern shape of a variant that used to carry unparsable assembly.
+	broken := codegen.Program{Name: "broken_variant"}
 	progs = append([]codegen.Program{progs[0], broken}, progs[1:]...)
 	opts := launcher.DefaultOptions()
 	opts.MachineName = "nehalem-dual/8"

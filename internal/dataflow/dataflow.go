@@ -194,6 +194,33 @@ func Analyze(p *isa.Program, arch *isa.Arch) (*Report, error) {
 	return rep, nil
 }
 
+// AnalyzeLiveness runs only the liveness fixpoint and fills DeadWrites and
+// SelfMoves — the microarchitecture-independent facts behind the verifier's
+// V009/V010 rules. It skips the dependence DAG and every bound computation,
+// so it is considerably cheaper than Analyze on the per-variant verify path;
+// the entries it does produce are identical to Analyze's, except that dead
+// writes with a memory operand carry no rendered Inst/Resource strings (no
+// rule reports them, and the strings dominate the pass's allocations).
+func AnalyzeLiveness(p *isa.Program, arch *isa.Arch) (*Report, error) {
+	if p == nil || len(p.Insts) == 0 {
+		return nil, fmt.Errorf("dataflow: empty program")
+	}
+	dp, err := p.Decoded(arch)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: %w", err)
+	}
+	a := &analysis{prog: p, dp: dp, arch: arch, lean: true}
+	a.scan()
+	rep := &Report{
+		Kernel:    p.Name,
+		Arch:      arch.Name,
+		LoopStart: a.start,
+		LoopEnd:   a.end,
+	}
+	a.liveness(rep)
+	return rep, nil
+}
+
 // analysis carries the per-run scratch state.
 type analysis struct {
 	prog *isa.Program
@@ -202,6 +229,7 @@ type analysis struct {
 
 	start, end int // analysed body, inclusive
 	hasLoop    bool
+	lean       bool // liveness-only run: skip strings nothing will read
 
 	reads  []bitset // per instruction (whole program)
 	writes []bitset
@@ -307,12 +335,18 @@ func (a *analysis) liveness(rep *Report) {
 		in := &a.prog.Insts[i]
 		info := &a.dp.Info[i]
 		if d := info.DstReg; d != isa.NoReg && !liveOut[i].has(d) {
-			rep.DeadWrites = append(rep.DeadWrites, DeadWrite{
-				Index:    i,
-				Inst:     in.String(),
-				Resource: d.String(),
-				HasMem:   info.HasMem,
-			})
+			if a.lean && info.HasMem {
+				// No rule reports a dead write that touches memory (the
+				// access is the workload); skip the entry and its rendered
+				// strings entirely on the liveness-only path.
+			} else {
+				dw := DeadWrite{Index: i, HasMem: info.HasMem}
+				if !a.lean || !info.HasMem {
+					dw.Inst = in.String()
+					dw.Resource = d.String()
+				}
+				rep.DeadWrites = append(rep.DeadWrites, dw)
+			}
 		}
 		if in.Op.IsMove() && in.NOps == 2 &&
 			in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand &&

@@ -28,12 +28,9 @@ func parseVerified(src, name string) (*isa.Program, error) {
 }
 
 // decoded returns the launcher-ready form of a pipeline output program,
-// reusing the decode cached by the verify-variants pass when present.
+// reusing the decode populated by the emit pass when present.
 func decoded(prog codegen.Program) (*isa.Program, error) {
-	if prog.Parsed != nil {
-		return prog.Parsed, nil
-	}
-	return asm.ParseOne(prog.Assembly, prog.Name)
+	return prog.Lowered()
 }
 
 // opWidth returns the data width of the studied SSE moves.

@@ -28,6 +28,65 @@ type DecodedProgram struct {
 	// branches predicted-not-taken); cores copy it into their private
 	// predictor state on Reset.
 	PredInit []uint8
+
+	// derived memoizes analysis results computed from this decode (see
+	// Derived); like the decode cache it is copy-on-write and first-wins.
+	derived derivedCache
+}
+
+// maxDerived bounds the per-decode derived-result memo, mirroring
+// maxDecodedArchs: real campaigns derive one bounds result per decode (the
+// issue width rarely varies for one decode signature).
+const maxDerived = 4
+
+type derivedEntry struct {
+	key uint64
+	val any
+}
+
+// derivedCache memoizes values derived from one DecodedProgram: a
+// copy-on-write entry list read lock-free on the hot path, with writers
+// serialized by mu. The zero value is ready to use.
+type derivedCache struct {
+	mu      sync.Mutex
+	entries atomic.Pointer[[]derivedEntry]
+}
+
+// Derived returns the value memoized under key, calling compute and
+// publishing its result on the first request. If two goroutines race on the
+// same key the first published value wins and every caller shares it, so
+// compute must be pure and its result treated as immutable. Keys are
+// namespaced by consumer: the high 32 bits identify the computing package,
+// the low 32 its parameter (internal/dataflow keys its bounds by issue
+// width — the one scheduling parameter outside the decode signature).
+func (d *DecodedProgram) Derived(key uint64, compute func() any) any {
+	if es := d.derived.entries.Load(); es != nil {
+		for i := range *es {
+			if (*es)[i].key == key {
+				return (*es)[i].val
+			}
+		}
+	}
+	v := compute()
+	d.derived.mu.Lock()
+	defer d.derived.mu.Unlock()
+	var old []derivedEntry
+	if es := d.derived.entries.Load(); es != nil {
+		old = *es
+	}
+	for i := range old {
+		if old[i].key == key {
+			return old[i].val
+		}
+	}
+	if len(old) >= maxDerived {
+		old = old[1:] // evict the oldest result
+	}
+	next := make([]derivedEntry, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, derivedEntry{key: key, val: v})
+	d.derived.entries.Store(&next)
+	return v
 }
 
 // InstClass buckets an instruction for the dynamic-mix counters.

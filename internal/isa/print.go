@@ -2,7 +2,7 @@ package isa
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Print renders a decoded program back to AT&T assembly text that
@@ -10,29 +10,126 @@ import (
 // assembly front end, used for dumping kernels out of the launcher and for
 // round-trip testing.
 func (p *Program) Print() string {
-	// Labels by target index (invert the map; multiple labels per index
-	// are emitted in sorted order for determinism).
-	labelsAt := map[int][]string{}
+	return string(p.AppendPrint(make([]byte, 0, 64+32*len(p.Insts))))
+}
+
+// AppendPrint appends the Print rendering of the program to dst and returns
+// the extended slice. It is the allocation-free form of Print: the campaign
+// engine streams the canonical rendering through its cache-key hash from a
+// pooled buffer, so the bytes produced here are part of the on-disk cache
+// contract and must never change for an unchanged program.
+func (p *Program) AppendPrint(dst []byte) []byte {
+	// Labels by target index; multiple labels per index are emitted in
+	// sorted name order for determinism, indices outside [0, len(Insts)]
+	// are dropped. The fixed-size backing array covers generated kernels
+	// (one loop label) without allocating.
+	type labelAt struct {
+		idx  int
+		name string
+	}
+	var stack [4]labelAt
+	labels := stack[:0]
 	for name, idx := range p.Labels {
-		labelsAt[idx] = append(labelsAt[idx], name)
+		if idx < 0 || idx > len(p.Insts) {
+			continue
+		}
+		labels = append(labels, labelAt{idx, name})
 	}
-	for _, names := range labelsAt {
-		for i := 1; i < len(names); i++ {
-			for j := i; j > 0 && names[j] < names[j-1]; j-- {
-				names[j], names[j-1] = names[j-1], names[j]
-			}
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && (labels[j].idx < labels[j-1].idx ||
+			(labels[j].idx == labels[j-1].idx && labels[j].name < labels[j-1].name)); j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "    .text\n    .globl %s\n%s:\n", p.Name, p.Name)
+	dst = append(dst, "    .text\n    .globl "...)
+	dst = append(dst, p.Name...)
+	dst = append(dst, '\n')
+	dst = append(dst, p.Name...)
+	dst = append(dst, ":\n"...)
+	li := 0
 	for i := range p.Insts {
-		for _, l := range labelsAt[i] {
-			fmt.Fprintf(&b, "%s:\n", l)
+		for li < len(labels) && labels[li].idx == i {
+			dst = append(dst, labels[li].name...)
+			dst = append(dst, ":\n"...)
+			li++
 		}
-		fmt.Fprintf(&b, "    %s\n", p.Insts[i].String())
+		dst = append(dst, "    "...)
+		dst = p.Insts[i].appendString(dst)
+		dst = append(dst, '\n')
 	}
-	for _, l := range labelsAt[len(p.Insts)] {
-		fmt.Fprintf(&b, "%s:\n", l)
+	for ; li < len(labels); li++ {
+		dst = append(dst, labels[li].name...)
+		dst = append(dst, ":\n"...)
 	}
-	return b.String()
+	return dst
+}
+
+// appendString is Inst.String in append form; the two must render
+// identically (String is defined in terms of the same operand renderings).
+func (in *Inst) appendString(dst []byte) []byte {
+	dst = append(dst, in.Op.String()...)
+	for i := 0; i < in.NOps; i++ {
+		if i == 0 {
+			dst = append(dst, ' ')
+		} else {
+			dst = append(dst, ", "...)
+		}
+		dst = in.Operand(i).appendString(dst)
+	}
+	return dst
+}
+
+// appendString is Operand.String in append form.
+func (o Operand) appendString(dst []byte) []byte {
+	switch o.Kind {
+	case NoOperand:
+		return dst
+	case RegOperand:
+		return o.Reg.appendString(dst)
+	case ImmOperand:
+		dst = append(dst, '$')
+		return strconv.AppendInt(dst, o.Imm, 10)
+	case MemOperand:
+		return o.Mem.appendString(dst)
+	case LabelOperand:
+		return append(dst, o.Label...)
+	}
+	return fmt.Appendf(dst, "operand(%d)", int(o.Kind))
+}
+
+// appendString is MemRef.String in append form.
+func (m MemRef) appendString(dst []byte) []byte {
+	if m.Disp != 0 {
+		dst = strconv.AppendInt(dst, m.Disp, 10)
+	}
+	dst = append(dst, '(')
+	if m.Base != NoReg {
+		dst = m.Base.appendString(dst)
+	}
+	if m.Index != NoReg {
+		dst = append(dst, ',')
+		dst = m.Index.appendString(dst)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, m.Scale, 10)
+	}
+	return append(dst, ')')
+}
+
+// appendString is Reg.String in append form.
+func (r Reg) appendString(dst []byte) []byte {
+	switch {
+	case r.IsGPR():
+		dst = append(dst, '%')
+		return append(dst, gprNames[r]...)
+	case r.IsXMM():
+		dst = append(dst, "%xmm"...)
+		return strconv.AppendInt(dst, int64(r-XMM0), 10)
+	case r == RIP:
+		return append(dst, "%rip"...)
+	case r == RFLAGS:
+		return append(dst, "%rflags"...)
+	case r == NoReg:
+		return append(dst, "%none"...)
+	}
+	return fmt.Appendf(dst, "%%reg(%d)", int(r))
 }

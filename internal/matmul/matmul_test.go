@@ -153,9 +153,13 @@ func TestInnerSpecPipeline(t *testing.T) {
 		if prog.Kernel.Unroll != 4 {
 			continue
 		}
-		p, err := parseProgram(prog.Assembly, prog.Name)
+		asmText, err := prog.Assembly()
 		if err != nil {
-			t.Fatalf("%s: %v\n%s", prog.Name, err, prog.Assembly)
+			t.Fatalf("%s: render: %v", prog.Name, err)
+		}
+		p, err := parseProgram(asmText, prog.Name)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", prog.Name, err, asmText)
 		}
 		mem := &traceMem{}
 		core := cpu.NewCore(0, isa.Nehalem(), mem)

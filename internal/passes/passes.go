@@ -675,7 +675,9 @@ func passInsertBranch(_ *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 			k.Branch.Label = ".L0"
 		}
 		if !strings.HasPrefix(k.Branch.Label, ".") {
-			k.Branch.Label = "." + k.Branch.Label
+			// Label normalization happens once per kernel and only when the
+			// spec omitted the conventional dot — not a per-variant rendering.
+			k.Branch.Label = "." + k.Branch.Label //microlint:disable L011
 		}
 		op, err := isa.ParseOp(k.Branch.Test)
 		if err != nil || !op.IsCondBranch() {
@@ -864,10 +866,22 @@ func passVerifyVariants(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 	}
 	for i := range ctx.Programs {
 		p := &ctx.Programs[i]
-		if p.Assembly == "" {
+		if !p.EmitAssembly {
 			continue
 		}
-		parsed, ds := verify.AsmProgram(p.Assembly, p.Name, opt)
+		// IR-first: the emit pass lowered the program, so the asm-level
+		// rules run on the decoded form directly. Programs that refused to
+		// lower fall back to the text round trip, which reproduces the
+		// parse-error diagnostics (V000/V006) of the rendering pipeline.
+		if p.Parsed != nil {
+			diags = append(diags, verify.Program(p.Parsed, p.Name, opt)...)
+			continue
+		}
+		asmText, err := p.Assembly()
+		if err != nil || asmText == "" {
+			continue
+		}
+		parsed, ds := verify.AsmProgram(asmText, p.Name, opt)
 		diags = append(diags, ds...)
 		if parsed != nil {
 			p.Parsed = parsed
@@ -907,24 +921,24 @@ func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 			return nil, err
 		}
 		sp := ctx.PassSpan().Child("codegen").Str("kernel", k.Name)
-		prog := codegen.Program{Name: k.Name, Kernel: k}
-		if ctx.EmitAssembly {
-			asm, err := codegen.Assembly(k)
-			if err != nil {
-				sp.Str("error", err.Error()).End()
-				return nil, err
-			}
-			prog.Assembly = asm
-			sp.Int("asm_bytes", int64(len(asm)))
+		prog := codegen.Program{
+			Name: k.Name, Kernel: k,
+			EmitAssembly: ctx.EmitAssembly, EmitC: ctx.EmitC,
 		}
-		if ctx.EmitC {
-			c, err := codegen.CSource(k)
-			if err != nil {
+		// IR-first: lower the kernel straight to its decoded program and
+		// render text only on demand (WritePrograms, CLI dumps). Kernels
+		// that refuse to lower fall back to the text pipeline: the render
+		// below reproduces its emit-time errors, and the verify paths fall
+		// back to parsing the rendering, so diagnostics are unchanged.
+		parsed, lowerErr := codegen.Lower(k)
+		if lowerErr == nil {
+			prog.Parsed = parsed
+			sp.Int("insts", int64(len(parsed.Insts)))
+		} else if ctx.EmitAssembly || ctx.EmitC {
+			if _, err := codegen.Assembly(k); err != nil {
 				sp.Str("error", err.Error()).End()
 				return nil, err
 			}
-			prog.CSource = c
-			sp.Int("c_bytes", int64(len(c)))
 		}
 		if ctx.Sink != nil {
 			// Streaming mode: verify-then-emit per program, so downstream
@@ -932,13 +946,20 @@ func passEmit(ctx *Context, ks []*ir.Kernel) ([]*ir.Kernel, error) {
 			// the per-program rules, without retaining the full set. The
 			// kernel-level rules and expansion accounting still run in the
 			// verify-variants pass after the stream drains.
-			if ctx.VerifyMode != verify.ModeOff && prog.Assembly != "" {
-				parsed, ds := verify.AsmProgram(prog.Assembly, prog.Name,
-					verify.Options{Suppress: ctx.VerifySuppress})
-				ctx.Diagnostics = append(ctx.Diagnostics, ds...)
-				if parsed != nil {
-					prog.Parsed = parsed
+			if ctx.VerifyMode != verify.ModeOff && ctx.EmitAssembly {
+				var ds verify.Diagnostics
+				opt := verify.Options{Suppress: ctx.VerifySuppress}
+				if prog.Parsed != nil {
+					ds = verify.Program(prog.Parsed, prog.Name, opt)
+				} else {
+					asmText, _ := prog.Assembly() // render errors handled above
+					var parsed *isa.Program
+					parsed, ds = verify.AsmProgram(asmText, prog.Name, opt)
+					if parsed != nil {
+						prog.Parsed = parsed
+					}
 				}
+				ctx.Diagnostics = append(ctx.Diagnostics, ds...)
 				if ctx.VerifyMode == verify.ModeEnforce {
 					if err := ds.Err(); err != nil {
 						sp.Str("error", err.Error()).End()

@@ -6,10 +6,22 @@ import (
 	"testing"
 
 	"microtools/internal/asm"
+	"microtools/internal/codegen"
 	"microtools/internal/ir"
 	"microtools/internal/isa"
 	"microtools/internal/xmlspec"
 )
+
+// mustAsm renders a program's assembly on demand, failing the test on a
+// render error.
+func mustAsm(t *testing.T, p codegen.Program) string {
+	t.Helper()
+	s, err := p.Assembly()
+	if err != nil {
+		t.Fatalf("%s: render: %v", p.Name, err)
+	}
+	return s
+}
 
 // fig6XML reproduces the paper's Figure 6 (with the Figure 9 iteration
 // counter): the (Load|Store)+ input that §5.1 says generates 510 benchmark
@@ -92,7 +104,7 @@ func TestFig8GoldenOutput(t *testing.T) {
 	var asmText string
 	for _, p := range ctx.Programs {
 		if strings.Contains(p.Name, "u3_SLS") {
-			asmText = p.Assembly
+			asmText = mustAsm(t, p)
 			break
 		}
 	}
@@ -132,9 +144,10 @@ func TestFig8GoldenOutput(t *testing.T) {
 func TestGeneratedProgramsParseAndRun(t *testing.T) {
 	ctx, _ := runPipeline(t, fig6XML)
 	for _, prog := range ctx.Programs {
-		p, err := asm.ParseOne(prog.Assembly, prog.Name)
+		asmText := mustAsm(t, prog)
+		p, err := asm.ParseOne(asmText, prog.Name)
 		if err != nil {
-			t.Fatalf("%s: %v\n%s", prog.Name, err, prog.Assembly)
+			t.Fatalf("%s: %v\n%s", prog.Name, err, asmText)
 		}
 		u := prog.Kernel.Unroll
 		n := uint64(16 * 4 * 8) // plenty of elements, multiple of all unrolls
@@ -178,10 +191,11 @@ func TestRegisterRotation(t *testing.T) {
 		if prog.Kernel.Unroll != 8 {
 			continue
 		}
+		asmText := mustAsm(t, prog)
 		for c := 0; c < 8; c++ {
 			want := fmt.Sprintf("%%xmm%d", c)
-			if !strings.Contains(prog.Assembly, want) {
-				t.Errorf("%s: missing rotated register %s\n%s", prog.Name, want, prog.Assembly)
+			if !strings.Contains(asmText, want) {
+				t.Errorf("%s: missing rotated register %s\n%s", prog.Name, want, asmText)
 			}
 		}
 		break
@@ -210,8 +224,9 @@ func TestMoveSemanticsSelection(t *testing.T) {
 	}
 	got := map[string]bool{}
 	for _, p := range ctx.Programs {
+		asmText := mustAsm(t, p)
 		for _, op := range []string{"movaps", "movups", "movapd", "movupd"} {
-			if strings.Contains(p.Assembly, op+" ") {
+			if strings.Contains(asmText, op+" ") {
 				got[op] = true
 			}
 		}
@@ -330,7 +345,7 @@ func TestRandomSelectionDeterminism(t *testing.T) {
 		t.Fatalf("variant counts differ: %d vs %d", len(out1), len(out2))
 	}
 	for i := range ctx1.Programs {
-		if ctx1.Programs[i].Assembly != ctx2.Programs[i].Assembly {
+		if mustAsm(t, ctx1.Programs[i]) != mustAsm(t, ctx2.Programs[i]) {
 			t.Errorf("random selection is not deterministic at program %d", i)
 		}
 	}

@@ -117,9 +117,10 @@ func TestPropertyPipelineAlwaysExecutable(t *testing.T) {
 		}
 		for i := 0; i < len(ctx.Programs); i += step {
 			prog := ctx.Programs[i]
-			p, err := asm.ParseOne(prog.Assembly, prog.Name)
+			asmText := mustAsm(t, prog)
+			p, err := asm.ParseOne(asmText, prog.Name)
 			if err != nil {
-				t.Fatalf("trial %d %s: %v\n%s", trial, prog.Name, err, prog.Assembly)
+				t.Fatalf("trial %d %s: %v\n%s", trial, prog.Name, err, asmText)
 			}
 			var rf isa.RegFile
 			rf.Set(isa.RDI, 16*64-1)
@@ -132,7 +133,7 @@ func TestPropertyPipelineAlwaysExecutable(t *testing.T) {
 			}
 			done, err := core.Step(math.MaxInt64)
 			if err != nil {
-				t.Fatalf("trial %d %s: exec: %v\n%s", trial, prog.Name, err, prog.Assembly)
+				t.Fatalf("trial %d %s: exec: %v\n%s", trial, prog.Name, err, asmText)
 			}
 			if !done {
 				t.Fatalf("trial %d %s: did not finish", trial, prog.Name)

@@ -21,6 +21,7 @@ type CampaignUpdate struct {
 	Launches    int
 	Retries     int
 	Quarantined int
+	KeyErrors   int
 }
 
 // CampaignSnapshot is the JSON face of one tracked campaign, served by
@@ -36,6 +37,9 @@ type CampaignSnapshot struct {
 	Launches    int    `json:"launches"`
 	Retries     int    `json:"retries"`
 	Quarantined int    `json:"quarantined"`
+	// KeyErrors counts variants measured without a derivable cache key
+	// (they bypass the cache; a warm re-run repeats their launches).
+	KeyErrors int `json:"key_errors"`
 	// CacheHitRatio is CacheHits/Done (0 before the first completion).
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	// ElapsedSeconds is wall time since Begin; ETASeconds extrapolates
@@ -155,6 +159,7 @@ func (c *Campaign) snapshotLocked(now time.Time) CampaignSnapshot {
 		Launches:    c.upd.Launches,
 		Retries:     c.upd.Retries,
 		Quarantined: c.upd.Quarantined,
+		KeyErrors:   c.upd.KeyErrors,
 		Finished:    c.finished,
 		Err:         c.errMsg,
 	}

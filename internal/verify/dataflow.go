@@ -15,7 +15,14 @@ import (
 // baseline Nehalem tables to stay deterministic (use `microtools analyze
 // -machine` for the per-machine view).
 func dataflowRules(p *isa.Program, opt Options, add addFunc) {
-	rep, err := dataflow.Analyze(p, isa.Nehalem())
+	// V009/V010 are pure liveness facts; the full analysis (dependence DAG,
+	// latency, port pressure) is only needed when the caller asked for the
+	// recurrence report, so the common path runs the liveness-only scope.
+	analyze := dataflow.AnalyzeLiveness
+	if opt.Recurrences {
+		analyze = dataflow.Analyze
+	}
+	rep, err := analyze(p, isa.Nehalem())
 	if err != nil {
 		// The program did not decode; the structural rules (V000/V001/
 		// V006) already explain why.

@@ -16,7 +16,7 @@
 //
 //	progs, err := microtools.Generate(strings.NewReader(xmlSpec), microtools.GenerateOptions{})
 //	...
-//	kernel, err := microtools.LoadKernel(progs[0].Assembly, "")
+//	kernel, err := progs[0].Lowered() // decoded directly from the IR; progs[0].Assembly() renders text on demand
 //	m, err := microtools.Launch(kernel, microtools.DefaultLaunchOptions())
 //	fmt.Printf("%s: %.2f cycles/iteration\n", m.Kernel, m.Value)
 //

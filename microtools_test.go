@@ -19,7 +19,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("generated %d variants, want the paper's 510", len(progs))
 	}
 
-	kernel, err := LoadKernel(progs[0].Assembly, "")
+	asmText, err := progs[0].Assembly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel, err := LoadKernel(asmText, "")
 	if err != nil {
 		t.Fatal(err)
 	}

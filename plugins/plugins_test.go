@@ -126,7 +126,12 @@ func TestEnableSchedule(t *testing.T) {
 		t.Errorf("variants = %d, want 30", len(progs))
 	}
 	for _, p := range progs {
-		if _, err := core.LoadKernel(p.Assembly, ""); err != nil {
+		asmText, err := p.Assembly()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if _, err := core.LoadKernel(asmText, ""); err != nil {
 			t.Errorf("%s: %v", p.Name, err)
 		}
 	}

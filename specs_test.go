@@ -41,7 +41,12 @@ func TestShippedSpecsGenerate(t *testing.T) {
 			if i%17 != 0 {
 				continue // sample large families
 			}
-			if _, err := LoadKernel(p.Assembly, ""); err != nil {
+			asmText, err := p.Assembly()
+			if err != nil {
+				t.Errorf("%s: %s does not render: %v", path, p.Name, err)
+				continue
+			}
+			if _, err := LoadKernel(asmText, ""); err != nil {
 				t.Errorf("%s: %s does not reload: %v", path, p.Name, err)
 			}
 		}
