@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json bench-guard fuzz-smoke telemetry-smoke analyze-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json bench-guard fuzz-smoke telemetry-smoke analyze-smoke serve-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build, the full test suite under the race
 # detector, a single-iteration pass of the hot-path benchmarks so they
 # cannot rot between perf-focused PRs, the allocation guard on the campaign
-# sweep, a static analysis of every shipped spec, and a live scrape of the
-# telemetry endpoints through the real CLI.
-ci: fmt-check vet lint build race bench-smoke bench-guard analyze-smoke telemetry-smoke
+# sweep, a static analysis of every shipped spec, a live scrape of the
+# telemetry endpoints through the real CLI, and an end-to-end exercise of
+# the measurement service (submit, shared cache, metrics, drain).
+ci: fmt-check vet lint build race bench-smoke bench-guard analyze-smoke telemetry-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -81,6 +82,13 @@ bench-guard:
 # expected metric families are exposed (scripts/telemetry_smoke.sh).
 telemetry-smoke:
 	GO='$(GO)' sh scripts/telemetry_smoke.sh
+
+# serve-smoke builds microserved, submits the same spec as two tenants via
+# `microtools submit`, asserts the second run is fully cache-warm with a
+# byte-identical campaign payload, scrapes the service metrics, and drains
+# the daemon with SIGTERM (scripts/serve_smoke.sh).
+serve-smoke:
+	GO='$(GO)' sh scripts/serve_smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch a
 # regression in the parsers' error paths without stalling CI.

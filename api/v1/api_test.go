@@ -1,0 +1,122 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same type,
+// and asserts deep equality — the wire contract loses nothing.
+func roundTrip(t *testing.T, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v)).Interface()
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	got := reflect.ValueOf(out).Elem().Interface()
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip changed %T:\n in: %+v\nout: %+v\nwire: %s", v, v, got, data)
+	}
+}
+
+func sampleStatus() JobStatus {
+	return JobStatus{
+		SchemaVersion:   SchemaVersion,
+		ID:              "j-7",
+		Tenant:          "team-a",
+		Name:            "team-a/j-7",
+		State:           StateRunning,
+		SubmittedUnixMS: 1700000000000,
+		StartedUnixMS:   1700000000100,
+		Progress:        Progress{Done: 2, Emitted: 4, Generating: true, CacheHits: 1, Launches: 1},
+	}
+}
+
+func TestWireShapesRoundTrip(t *testing.T) {
+	roundTrip(t, Error{SchemaVersion: SchemaVersion, Code: CodeOverQuota, Message: "tenant team-a has 4 jobs in flight"})
+	roundTrip(t, JobRequest{
+		SchemaVersion: SchemaVersion, Tenant: "team-a", Name: "sweep", Spec: "<kernel/>",
+		Seed: 42, Machine: "nehalem-dual/8", ArrayBytes: 1 << 12, OuterReps: 3, InnerReps: 2,
+		Workers: 4, FailFast: true, Retries: 2, RetryBackoffMS: 10,
+		VariantDeadlineMS: 5000, Quarantine: 3, CheckBounds: true,
+	})
+	roundTrip(t, sampleStatus())
+	roundTrip(t, VariantEvent{SchemaVersion: SchemaVersion, JobID: "j-7", Seq: 3, Type: EventProgress, Status: sampleStatus()})
+	roundTrip(t, JobResult{
+		SchemaVersion: SchemaVersion,
+		Job:           sampleStatus(),
+		Serving:       &ServingStats{Launches: 1, CacheHits: 1, CacheHitRatio: 0.5, Retries: 1},
+		Campaign: &CampaignResult{
+			Emitted: 2,
+			Variants: []VariantResult{
+				{Index: 0, Name: "k_u1", Value: 12.5, Unit: "cyc", ValuePerElement: 0.78,
+					Iterations: 1024, StaticBoundValue: 8,
+					Stability: Stability{N: 3, Mean: 12.5, CV: 0.01, RCIW: 0.02}},
+				{Index: 1, Name: "k_u2", Error: "launch: injected fault"},
+			},
+		},
+	})
+}
+
+// TestErrorBodyIsAGoError pins the client-side error contract: the wire
+// Error implements error with the code visible in the text.
+func TestErrorBodyIsAGoError(t *testing.T) {
+	var err error = &Error{SchemaVersion: SchemaVersion, Code: CodeDraining, Message: "server is shutting down"}
+	if !strings.Contains(err.Error(), CodeDraining) {
+		t.Errorf("error text %q lacks the machine code", err.Error())
+	}
+}
+
+// TestIdentityFreeCampaignResult pins the bit-identical-results guarantee:
+// two JobResults for the same campaign outcome but different jobs carry
+// byte-identical Campaign sections.
+func TestIdentityFreeCampaignResult(t *testing.T) {
+	campaign := CampaignResult{Emitted: 1,
+		Variants: []VariantResult{{Name: "k", Value: 3, Unit: "cyc"}}}
+	a, err := json.Marshal(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("campaign marshaling is not deterministic:\n%s\n%s", a, b)
+	}
+	// Identity lives in JobStatus and serving accounting in ServingStats;
+	// the campaign payload must embed neither (field walk over both the
+	// result and its variants).
+	banned := map[string]bool{
+		"ID": true, "Tenant": true, "SubmittedUnixMS": true, "StartedUnixMS": true,
+		"FinishedUnixMS": true, "CacheHit": true, "CacheHits": true, "Launches": true,
+		"Attempts": true, "CacheHitRatio": true, "Retries": true,
+	}
+	for _, typ := range []reflect.Type{reflect.TypeOf(CampaignResult{}), reflect.TypeOf(VariantResult{})} {
+		for _, f := range reflect.VisibleFields(typ) {
+			if banned[f.Name] {
+				t.Errorf("%s carries identity or serving field %s", typ.Name(), f.Name)
+			}
+		}
+	}
+}
+
+// TestExplicitTagsEverywhere walks every wire struct and asserts each
+// exported field carries an explicit json tag (the L012 invariant, pinned
+// here against refactors that bypass the linter).
+func TestExplicitTagsEverywhere(t *testing.T) {
+	for _, v := range []any{Error{}, JobRequest{}, JobStatus{}, Progress{}, VariantEvent{}, Stability{}, VariantResult{}, CampaignResult{}, ServingStats{}, JobResult{}} {
+		rt := reflect.TypeOf(v)
+		for _, f := range reflect.VisibleFields(rt) {
+			if f.Tag.Get("json") == "" {
+				t.Errorf("%s.%s lacks an explicit json tag", rt.Name(), f.Name)
+			}
+		}
+	}
+}

@@ -26,7 +26,7 @@ func TestBadFixtureTripsEveryRule(t *testing.T) {
 		"L006": 3, // Background + TODO + misplaced exported ctx param
 		"L007": 1, // %v-flattened cause (the %w forms are clean)
 		"L008": 2, // expvar import + package-level atomic (struct field allowed)
-		"L009": 1, // RunParallel call site (the declaring file is exempt)
+		"L009": 2, // RunParallel call site + the comment still naming the shim
 		"L010": 1, // bare library panic (Must*/must*/init forms are clean)
 	}
 	got := map[string]int{}
@@ -38,8 +38,8 @@ func TestBadFixtureTripsEveryRule(t *testing.T) {
 			t.Errorf("rule %s: %d findings, want %d\nall: %v", rule, got[rule], n, ds)
 		}
 	}
-	if len(ds) != 2+1+1+1+2+3+1+2+1+1 {
-		t.Errorf("total findings %d, want 15: %v", len(ds), ds)
+	if len(ds) != 2+1+1+1+2+3+1+2+2+1 {
+		t.Errorf("total findings %d, want 16: %v", len(ds), ds)
 	}
 }
 
@@ -131,6 +131,39 @@ func TestL011OnlyInHotPackages(t *testing.T) {
 	for _, d := range lintPath(t, filepath.Join("testdata", "src", "bad", "bad.go")) {
 		if d.Rule == "L011" {
 			t.Errorf("L011 fired outside the hot-path packages: %v", d)
+		}
+	}
+}
+
+// TestWireFixtureTripsL012: the api/v1 fixture (its path carries an api/
+// segment) seeds three wire-contract violations — an internal import, an
+// untagged exported field and a tag without a json key; the clean fixture
+// in the same directory has none.
+func TestWireFixtureTripsL012(t *testing.T) {
+	ds := lintPath(t, filepath.Join("testdata", "src", "api", "v1", "bad_api.go"))
+	n := 0
+	for _, d := range ds {
+		if d.Rule != "L012" {
+			t.Errorf("unexpected rule in wire fixture: %v", d)
+			continue
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("L012 findings = %d, want 3: %v", n, ds)
+	}
+	if ds := lintPath(t, filepath.Join("testdata", "src", "api", "v1", "clean_api.go")); len(ds) != 0 {
+		t.Errorf("clean wire fixture produced diagnostics: %v", ds)
+	}
+}
+
+// TestL012OnlyInAPIPackages: untagged exported fields are everywhere in
+// internal packages by design — the rule binds only the wire contract, so
+// the bad fixture (no api/ segment) carries no L012 findings.
+func TestL012OnlyInAPIPackages(t *testing.T) {
+	for _, d := range lintPath(t, filepath.Join("testdata", "src", "bad", "bad.go")) {
+		if d.Rule == "L012" {
+			t.Errorf("L012 fired outside the api/ packages: %v", d)
 		}
 	}
 }

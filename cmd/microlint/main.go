@@ -31,9 +31,10 @@
 //	      expvar or declaring a package-level sync/atomic variable creates a
 //	      second, unexported metrics surface that /metrics cannot see — all
 //	      process-wide instrumentation goes through telemetry.Registry.
-//	L009  no new RunParallel call sites: the shim is kept only for source
-//	      compatibility and delegates to the campaign engine — call
-//	      RunCampaign (campaign.Run) with Options.Workers instead.
+//	L009  RunParallel stays deleted: the pre-campaign fan-out shim was
+//	      removed from the facade, so no declarations, call sites or
+//	      lingering comment references may reappear — docs and examples
+//	      point at RunCampaign (campaign.Run) with Options.Workers.
 //	L010  no panic in library packages: libraries return errors and leave
 //	      the exit decision to the caller. The two conventional exceptions
 //	      are Must*/must* helpers (whose name announces the panic) and
@@ -46,6 +47,10 @@
 //	      is how the materialization wall the IR-first pipeline removed
 //	      creeps back in. Build strings lazily (render methods, Append*
 //	      helpers) or prove the store is cold and disable the finding.
+//	L012  api/ wire packages stay leaf-level: every exported struct field
+//	      carries an explicit json tag (the wire name must never depend on
+//	      Go identifier casing), and nothing under internal/ is imported —
+//	      the versioned contract must not leak internal types.
 //
 // A finding on a given line is suppressed by a comment on the same or the
 // preceding line:
@@ -188,6 +193,9 @@ type fileContext struct {
 	// hotpath is true inside the per-variant pipeline packages where rule
 	// L011 (no retained formatted strings) applies.
 	hotpath bool
+	// api is true inside the versioned wire-contract packages (an api/
+	// path segment) where rule L012 applies.
+	api bool
 	// parents maps every node to its syntactic parent.
 	parents map[ast.Node]ast.Node
 	// suppressed maps line -> rule IDs disabled there ("" disables all).
@@ -214,6 +222,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 		hotpath: strings.Contains(slash, "internal/codegen/") ||
 			strings.Contains(slash, "internal/campaign/") ||
 			strings.Contains(slash, "internal/passes/"),
+		api:        strings.Contains("/"+slash+"/", "/api/"),
 		parents:    buildParents(f),
 		suppressed: suppressions(fset, f),
 	}
@@ -227,6 +236,7 @@ func lintFile(fset *token.FileSet, path string) ([]Diagnostic, error) {
 	checkRunParallel(ctx)
 	checkPanics(ctx)
 	checkRetainedFormat(ctx)
+	checkWireContract(ctx)
 	var kept []Diagnostic
 	for _, d := range ctx.diags {
 		if !ctx.isSuppressed(d) {
@@ -716,15 +726,21 @@ func atomicTypeName(c *fileContext, e ast.Expr) (string, bool) {
 	return name, name != ""
 }
 
-// checkRunParallel implements L009: RunParallel is the deprecated pre-campaign
-// fan-out shim, retained only so existing callers keep compiling. New call
-// sites — bare or through any selector — go through the campaign engine
-// instead. The file holding the plain-function declaration itself is exempt
-// (the shim's own body delegates without calling it).
+// checkRunParallel implements L009. RunParallel was the deprecated
+// pre-campaign fan-out shim; it has been deleted from the facade, and the
+// rule keeps it deleted: no plain-function declarations, no call sites
+// (bare or through any selector), and no lingering comment references —
+// docs and examples point readers at the campaign engine instead. The
+// linter's own sources are exempt: the rule must be allowed to name what
+// it bans.
 func checkRunParallel(c *fileContext) {
+	if strings.Contains(filepath.ToSlash(c.path), "cmd/microlint/") {
+		return
+	}
 	for _, decl := range c.file.Decls {
 		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == "RunParallel" {
-			return
+			c.report(fn.Name.Pos(), "L009",
+				"RunParallel was deleted in favor of the campaign engine: do not reintroduce the shim")
 		}
 	}
 	ast.Inspect(c.file, func(n ast.Node) bool {
@@ -741,10 +757,18 @@ func checkRunParallel(c *fileContext) {
 		}
 		if called == "RunParallel" {
 			c.report(call.Pos(), "L009",
-				"RunParallel is the deprecated pre-campaign shim: call RunCampaign (campaign.Run) with Options.Workers")
+				"RunParallel is the deleted pre-campaign shim: call RunCampaign (campaign.Run) with Options.Workers")
 		}
 		return true
 	})
+	for _, cg := range c.file.Comments {
+		for _, cm := range cg.List {
+			if strings.Contains(cm.Text, "RunParallel") {
+				c.report(cm.Pos(), "L009",
+					"comment still references the deleted RunParallel shim: point readers at RunCampaign instead")
+			}
+		}
+	}
 }
 
 // checkPanics implements L010: library packages return errors instead of
@@ -891,4 +915,42 @@ func hasStringLit(e ast.Expr) bool {
 		return hasStringLit(e.X)
 	}
 	return false
+}
+
+// checkWireContract implements L012 inside the versioned wire-contract
+// packages (any api/ path segment). Two shapes break the contract: an
+// exported struct field without an explicit json tag, whose wire name
+// would silently track the Go identifier, and an import from under
+// internal/, which couples the public contract to types the module does
+// not export. Both must fail CI rather than reach a client.
+func checkWireContract(c *fileContext) {
+	if !c.api {
+		return
+	}
+	for _, imp := range c.file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/") {
+			c.report(imp.Pos(), "L012",
+				"wire package imports %s: the versioned contract must not depend on internal types", path)
+		}
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tagged := field.Tag != nil && strings.Contains(field.Tag.Value, `json:"`)
+			for _, name := range field.Names {
+				if name.IsExported() && !tagged {
+					c.report(name.Pos(), "L012",
+						"exported wire field %s has no explicit json tag: the wire name must not track the Go identifier", name.Name)
+				}
+			}
+		}
+		return true
+	})
 }

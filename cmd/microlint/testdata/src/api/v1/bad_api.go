@@ -1,0 +1,17 @@
+// Package api seeds the L012 violations: an internal import leaking into
+// the wire contract and exported fields without explicit json tags.
+package api
+
+import (
+	"microtools/internal/launcher"
+)
+
+// BadRequest trips L012 twice: Spec has no tag at all, and Machine carries
+// a tag without a json key. Count is fine (tagged), and the unexported
+// field needs nothing.
+type BadRequest struct {
+	Spec    string
+	Machine string `xml:"machine"`
+	Count   int    `json:"count"`
+	hidden  launcher.Options
+}

@@ -1,0 +1,14 @@
+// Package api is the clean L012 fixture: stdlib-only imports and an
+// explicit json tag on every exported field.
+package api
+
+import "time"
+
+// CleanRequest carries explicit wire names everywhere; the unexported
+// field is invisible to encoding/json and needs no tag.
+type CleanRequest struct {
+	Spec     string        `json:"spec"`
+	Machine  string        `json:"machine,omitempty"`
+	Deadline time.Duration `json:"deadline_ns,omitempty"`
+	hidden   int
+}

@@ -1,0 +1,107 @@
+// Command microserved is the measurement-as-a-service daemon: it accepts
+// XML kernel specs over a versioned HTTP/JSON API (api/v1), runs them
+// through the campaign engine on a bounded worker pool with per-tenant
+// admission control, streams live progress over SSE, and shares one
+// content-addressed measurement cache across every tenant — identical
+// submissions are free. SIGTERM drains gracefully: queued jobs are
+// rejected, in-flight jobs checkpoint into the cache and resume on the
+// next start over the same -store ledger.
+//
+// Usage:
+//
+//	microserved [-addr :8080] [-cache FILE] [-store FILE]
+//	            [-max-jobs N] [-max-tenant-jobs N] [-machine NAME] [-pprof]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microtools/internal/campaign"
+	"microtools/internal/launcher"
+	"microtools/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		cachePath  = flag.String("cache", "", "measurement cache file shared by all jobs (JSONL; empty = in-memory for this process)")
+		storePath  = flag.String("store", "", "job ledger file for restart resume (JSONL; empty = no persistence)")
+		maxJobs    = flag.Int("max-jobs", 2, "concurrent campaign jobs server-wide")
+		tenantJobs = flag.Int("max-tenant-jobs", 4, "queued+running jobs allowed per tenant (429 beyond)")
+		machine    = flag.String("machine", "", "default machine model for requests that name none")
+		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain waits for in-flight jobs")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+	if err := run(*addr, *cachePath, *storePath, *maxJobs, *tenantJobs, *machine, *drainWait, *pprofOn); err != nil {
+		fmt.Fprintf(os.Stderr, "microserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cachePath, storePath string, maxJobs, tenantJobs int, machine string, drainWait time.Duration, pprofOn bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var cache *campaign.Cache
+	var err error
+	if cachePath != "" {
+		cache, err = campaign.OpenCache(cachePath)
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+	} else {
+		cache = campaign.NewMemoryCache()
+	}
+
+	opts := service.Options{
+		MaxConcurrentJobs: maxJobs,
+		MaxJobsPerTenant:  tenantJobs,
+		Cache:             cache,
+		StorePath:         storePath,
+		EnablePprof:       pprofOn,
+	}
+	if machine != "" {
+		launch := launcher.DefaultOptions()
+		launch.MachineName = machine
+		opts.Launch = launch
+	}
+	// The daemon outlives the signal context on purpose: a SIGTERM must
+	// run the drain protocol (reject queued, checkpoint in-flight), not
+	// tear the campaigns down mid-write.
+	daemon, err := service.New(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+
+	bound, err := daemon.Start(addr)
+	if err != nil {
+		_ = daemon.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "microserved: serving http://%s/\n", bound)
+
+	<-ctx.Done()
+	stop() // a second signal kills the process the default way
+	fmt.Fprintf(os.Stderr, "microserved: draining\n")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := daemon.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "microserved: drain: %v\n", err)
+	}
+	if err := daemon.CloseHTTP(); err != nil {
+		fmt.Fprintf(os.Stderr, "microserved: close http: %v\n", err)
+	}
+	if err := daemon.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "microserved: drained\n")
+	return nil
+}

@@ -13,6 +13,7 @@
 //	microtools chaos [-fault-seed N] [-fault-rate R] [-fault-burst N]
 //	          [-fault-permanent] [-retries N] spec.xml
 //	microtools top [-addr host:port] [-json] [-metrics]
+//	microtools submit [-addr URL] [-tenant NAME] [-quick] [-v] spec.xml
 //
 // Every mode accepts -telemetry-addr to serve live telemetry while it
 // runs: /metrics (Prometheus text format), /debug/campaigns (JSON
@@ -39,6 +40,11 @@
 // contract: with transient faults and a sufficient retry budget, the final
 // measurements are bit-identical to a fault-free run. It exits non-zero
 // when the chaotic run diverges from the clean one.
+//
+// The submit subcommand is the -study flow pointed at a running
+// microserved instance: the spec is measured remotely over the api/v1
+// job contract (shared cache, per-tenant quotas, SSE progress) and the
+// same ranking report is printed locally.
 package main
 
 import (
@@ -55,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	api "microtools/api/v1"
 	"microtools/internal/analysis"
 	"microtools/internal/campaign"
 	"microtools/internal/cliutil"
@@ -66,8 +73,10 @@ import (
 	"microtools/internal/launcher"
 	machinepkg "microtools/internal/machine"
 	"microtools/internal/obs"
+	"microtools/internal/stats"
 	"microtools/internal/telemetry"
 	"microtools/internal/verify"
+	"microtools/serviceclient"
 )
 
 // runVet implements the vet subcommand: collect-only verification of one or
@@ -268,27 +277,24 @@ func runChaos(ctx context.Context, args []string) {
 		launcher.WithMetrics(tele.Metrics()),
 	)
 
-	run := func(name string, in *campaign.Options) (*campaign.Result, error) {
-		copts := camp.Options()
-		copts.Launch = opts
-		copts.Name = name
-		copts.Metrics = tele.Metrics()
-		copts.Tracker = tele.Tracker()
-		if in != nil {
-			copts.Faults = in.Faults
-			copts.Counters = in.Counters
-		}
+	run := func(name string, extra ...campaign.Option) (*campaign.Result, error) {
+		copts := camp.Options(append([]campaign.Option{
+			campaign.WithLaunch(opts),
+			campaign.WithName(name),
+			campaign.WithMetrics(tele.Metrics()),
+			campaign.WithTracker(tele.Tracker()),
+		}, extra...)...)
 		return campaign.RunFile(ctx, spec, core.GenerateOptions{}, copts)
 	}
 
-	clean, err := run(spec+" (fault-free)", nil)
+	clean, err := run(spec + " (fault-free)")
 	if err != nil {
 		fail(fmt.Errorf("fault-free run: %w", err))
 	}
 	injector := chaos.Injector()
 	counters := obs.NewCounterSet()
 	injector.SetCounters(counters)
-	chaotic, cerr := run(spec+" (chaotic)", &campaign.Options{Faults: injector, Counters: counters})
+	chaotic, cerr := run(spec+" (chaotic)", campaign.WithFaults(injector), campaign.WithCounters(counters))
 	if cerr != nil && !chaos.Permanent {
 		fail(fmt.Errorf("chaotic run: %w", cerr))
 	}
@@ -435,6 +441,161 @@ func runTop(ctx context.Context, args []string) {
 	}
 }
 
+// runSubmit implements the submit subcommand: the remote drop-in for
+// -study. It posts the XML kernel description to a running microserved
+// instance over the api/v1 contract, follows the SSE progress stream,
+// waits for the terminal state, and renders the same per-element ranking
+// and report table the local -study flow prints — only where the
+// campaign runs differs. Exit status 1 means the job failed or the
+// server was unreachable past the transient-retry budget.
+func runSubmit(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "base URL of the microserved instance")
+		tenant      = fs.String("tenant", "", "tenant for admission control (empty = the server's default tenant)")
+		name        = fs.String("name", "", "job label in the service telemetry (empty = the server derives one)")
+		machineName = fs.String("machine", "", "simulated machine for the remote campaign (empty = server default)")
+		size        = fs.Int64("size", 0, "array bytes per variant (0 = server default)")
+		seed        = fs.Int64("seed", 0, "deterministic generation seed")
+		quick       = fs.Bool("quick", false, "reduced repetitions (outer 2, inner 1)")
+		failFast    = fs.Bool("fail-fast", false, "stop the remote campaign on the first variant failure")
+		retries     = fs.Int("submit-retries", 2, "client-side retries when submission fails transiently (429 over-quota, 503 draining, transport errors)")
+		csvOut      = fs.String("csv", "", "write the result table to this file")
+		vFlag       = fs.Bool("v", false, "per-variant progress and serving stats on stderr")
+
+		report cliutil.Report
+		camp   cliutil.Campaign
+	)
+	report.Register(fs, "encoding for the table written with -csv")
+	camp.RegisterWorkers(fs, "the remote campaign")
+	camp.RegisterResilience(fs)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: microtools submit [-addr URL] [-tenant NAME] [flags] spec.xml")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "microtools: submit: %v\n", err)
+		os.Exit(1)
+	}
+	reportFormat, err := report.Format()
+	if err != nil {
+		fail(err)
+	}
+	spec, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	req := api.JobRequest{
+		Tenant:            *tenant,
+		Name:              *name,
+		Spec:              string(spec),
+		Seed:              *seed,
+		Machine:           *machineName,
+		ArrayBytes:        int(*size),
+		Workers:           camp.Workers,
+		FailFast:          *failFast,
+		Retries:           camp.Retries,
+		RetryBackoffMS:    camp.Backoff.Milliseconds(),
+		VariantDeadlineMS: camp.Deadline.Milliseconds(),
+		Quarantine:        camp.Quarantine,
+	}
+	if *quick {
+		req.OuterReps, req.InnerReps = 2, 1
+	}
+
+	client := &serviceclient.Client{Base: *addr, Retries: *retries}
+	status, err := client.Submit(ctx, req)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "microtools: submit: job %s accepted (%s)\n", status.ID, status.Name)
+
+	// Follow the event stream to the terminal state. The stream resumes
+	// transparently across dropped connections, so progress lines never
+	// repeat or skip variants.
+	final := status
+	err = client.Stream(ctx, status.ID, func(ev api.VariantEvent) error {
+		final = ev.Status
+		if *vFlag && ev.Type == api.EventProgress {
+			p := ev.Status.Progress
+			total := fmt.Sprintf("%d", p.Emitted)
+			if p.Generating {
+				total += "+"
+			}
+			fmt.Fprintf(os.Stderr, "microtools: submit: %d/%s variants (%d cached, %d failed)\n",
+				p.Done, total, p.CacheHits, p.Failed)
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	res, err := client.Result(ctx, status.ID)
+	if err != nil {
+		fail(err)
+	}
+	if final.State != api.StateDone {
+		if res.Job.Error != nil {
+			fmt.Fprintf(os.Stderr, "microtools: submit: job %s %s: %v\n", status.ID, res.Job.State, res.Job.Error)
+		} else {
+			fmt.Fprintf(os.Stderr, "microtools: submit: job %s ended %s\n", status.ID, res.Job.State)
+		}
+		os.Exit(1)
+	}
+	if *vFlag && res.Serving != nil {
+		s := res.Serving
+		fmt.Fprintf(os.Stderr, "microtools: submit: serving: %d launches, %d cache hits (ratio %.2f), %d failures, %d retries\n",
+			s.Launches, s.CacheHits, s.CacheHitRatio, s.Failures, s.Retries)
+	}
+
+	// Rebuild launcher measurements from the wire payload so the ranking
+	// and report code is shared verbatim with the local -study path.
+	var ms []*launcher.Measurement
+	for _, vr := range res.Campaign.Variants {
+		if vr.Error != "" {
+			fmt.Fprintf(os.Stderr, "microtools: submit: variant %s failed: %s\n", vr.Name, vr.Error)
+			continue
+		}
+		unit, uerr := launcher.ParseTimeUnit(vr.Unit)
+		if uerr != nil {
+			unit = launcher.UnitTSC
+		}
+		ms = append(ms, &launcher.Measurement{
+			Kernel:          vr.Name,
+			Value:           vr.Value,
+			Unit:            unit,
+			ValuePerElement: vr.ValuePerElement,
+			Iterations:      uint64(vr.Iterations),
+			StaticBound:     vr.StaticBoundValue,
+			Stability: stats.Stability{
+				N:    vr.Stability.N,
+				Mean: vr.Stability.Mean,
+				CV:   vr.Stability.CV,
+				RCIW: vr.Stability.RCIW,
+			},
+		})
+	}
+	ranking := analysis.RankPerElement(ms)
+	fmt.Print(ranking.Report())
+	if *csvOut != "" {
+		out, err := os.Create(*csvOut)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+		if err := launcher.WriteReport(out, reportFormat, ms); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %s\n", reportFormat, *csvOut)
+	}
+}
+
 func main() {
 	// Ctrl-C / SIGTERM cancels the running campaign or experiment; a study
 	// returns its partial results (and its cache keeps what was measured).
@@ -454,6 +615,9 @@ func main() {
 			return
 		case "top":
 			runTop(ctx, os.Args[2:])
+			return
+		case "submit":
+			runSubmit(ctx, os.Args[2:])
 			return
 		}
 	}
@@ -609,26 +773,27 @@ func main() {
 				fail(err)
 			}
 		} else {
-			copts := camp.Options()
-			copts.Launch = opts
-			copts.Tracer = tracer
-			copts.Name = *study
-			copts.Metrics = tele.Metrics()
-			copts.Tracker = tele.Tracker()
+			extra := []campaign.Option{
+				campaign.WithLaunch(opts),
+				campaign.WithTracer(tracer),
+				campaign.WithName(*study),
+				campaign.WithMetrics(tele.Metrics()),
+				campaign.WithTracker(tele.Tracker()),
+			}
 			cache, err := camp.OpenCache()
 			if err != nil {
 				fail(err)
 			}
 			if cache != nil {
 				defer cache.Close()
-				copts.Cache = cache
+				extra = append(extra, campaign.WithCache(cache))
 			}
 			if *vFlag {
 				// Progress with an ETA extrapolated from the elapsed
 				// measurement time; while the generator is still emitting the
 				// total (and so the ETA) is a lower bound.
 				started := time.Now()
-				copts.Progress = func(p campaign.Progress) {
+				extra = append(extra, campaign.WithProgress(func(p campaign.Progress) {
 					elapsed := time.Since(started)
 					var eta time.Duration
 					if p.Done > 0 {
@@ -640,8 +805,9 @@ func main() {
 					}
 					fmt.Fprintf(os.Stderr, "microtools: %d/%s variants (%d cached, %d failed), elapsed %s, eta %s\n",
 						p.Done, total, p.CacheHits, p.Failed, elapsed.Round(time.Second), eta)
-				}
+				}))
 			}
+			copts := camp.Options(extra...)
 			res, err := campaign.RunFile(ctx, *study, core.GenerateOptions{Tracer: tracer}, copts)
 			if err != nil {
 				// Partial results (a canceled or partly failed campaign) are

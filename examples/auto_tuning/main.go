@@ -67,14 +67,7 @@ func main() {
 	ctx := context.Background()
 	const machineName = "nehalem-dual/8"
 
-	// 1. MicroCreator: expand the hotspot's variant space.
-	progs, err := microtools.GenerateString(ctx, hotspotSpec, microtools.GenerateOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("search space: %d generated variants (move-width x unroll)\n", len(progs))
-
-	// 2. MicroLauncher: measure every variant on the target, with energy.
+	// 1. MicroLauncher configuration: how each variant is measured.
 	opts := microtools.NewLaunchOptions(
 		microtools.WithMachine(machineName),
 		microtools.WithArrayBytes(2<<10), // the hotspot's working set: L1-resident
@@ -86,18 +79,21 @@ func main() {
 		microtools.WithReps(2, 2),
 		microtools.WithEnergy(),
 	)
-	var ms []*microtools.Measurement
-	for _, p := range progs {
-		kernel, err := p.Lowered()
-		if err != nil {
-			log.Fatal(err)
-		}
-		m, err := microtools.Launch(ctx, kernel, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ms = append(ms, m)
+
+	// 2. Campaign: MicroCreator expands the hotspot's variant space and the
+	// engine streams every variant straight into a measurement worker pool,
+	// with per-variant fault isolation.
+	res, err := microtools.RunCampaign(ctx, strings.NewReader(hotspotSpec),
+		microtools.GenerateOptions{},
+		microtools.NewCampaignOptions(
+			microtools.WithCampaignLaunch(opts),
+			microtools.WithCampaignName("auto-tuning"),
+		))
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("search space: %d generated variants (move-width x unroll)\n", res.Emitted)
+	ms := res.Measurements()
 
 	// 3. Analysis: rank per element, report the recommendation.
 	ranking := microtools.RankMeasurements(ms)

@@ -286,9 +286,10 @@ func (r *Result) Err() error {
 //
 // The returned Result is always non-nil. The error is, in precedence
 // order: ctx.Err() when the caller canceled (partial results included);
-// the generation error when the pipeline failed; the aggregated *Error
-// when variants failed (with FailFast, the remainder was skipped); nil on
-// full success.
+// a *SetupError when the generation pipeline failed; the aggregated
+// *Error when variants failed (with FailFast, the remainder was skipped);
+// ErrNoVariants when the description emitted nothing; nil on full
+// success.
 func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Options) (*Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -699,13 +700,13 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		return finish(err)
 	}
 	if gerr != nil && !errors.Is(gerr, context.Canceled) {
-		return finish(fmt.Errorf("campaign: generate: %w", gerr))
+		return finish(&SetupError{Stage: "generate", Err: gerr})
 	}
 	if err := res.Err(); err != nil {
 		return finish(err)
 	}
 	if res.Emitted == 0 {
-		return finish(fmt.Errorf("campaign: the description generated no variants"))
+		return finish(ErrNoVariants)
 	}
 	return finish(nil)
 }
@@ -721,11 +722,14 @@ func stabilityFor(m *launcher.Measurement) stats.Stability {
 	return stats.StabilityOf(m.Summary)
 }
 
-// RunFile is Run over an XML file on disk.
+// RunFile is Run over an XML file on disk. Like Run, the returned Result
+// is always non-nil; an unreadable spec file surfaces as a *SetupError
+// (Stage "open") whose cause stays reachable through errors.Is, e.g.
+// errors.Is(err, fs.ErrNotExist).
 func RunFile(ctx context.Context, path string, gen core.GenerateOptions, opts Options) (*Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return &Result{}, &SetupError{Stage: "open", Path: path, Err: err}
 	}
 	defer f.Close()
 	return Run(ctx, f, gen, opts)

@@ -159,20 +159,23 @@ func (c *Campaign) OpenCache() (*campaign.Cache, error) {
 	return campaign.OpenCache(c.CachePath)
 }
 
-// Options assembles a campaign.Options from the parsed flags. The caller
-// fills Launch, Cache, Progress, Tracer and Counters afterwards.
-func (c *Campaign) Options() campaign.Options {
-	return campaign.Options{
-		Workers:         c.Workers,
-		FailFast:        c.FailFast,
-		VariantDeadline: c.Deadline,
-		Quarantine:      c.Quarantine,
-		Retry: campaign.RetryPolicy{
+// Options assembles a campaign.Options from the parsed flags through the
+// functional constructor; extra setters (launch configuration, cache,
+// progress, telemetry handles) are applied after the flag-derived ones,
+// so callers can override anything.
+func (c *Campaign) Options(extra ...campaign.Option) campaign.Options {
+	setters := []campaign.Option{
+		campaign.WithWorkers(c.Workers),
+		campaign.WithFailFast(c.FailFast),
+		campaign.WithVariantDeadline(c.Deadline),
+		campaign.WithQuarantine(c.Quarantine),
+		campaign.WithRetryPolicy(campaign.RetryPolicy{
 			MaxAttempts: c.Retries + 1,
 			Backoff:     c.Backoff,
 			Seed:        c.RetrySeed,
-		},
+		}),
 	}
+	return campaign.NewOptions(append(setters, extra...)...)
 }
 
 // Telemetry wires the live-telemetry flags shared by every command:

@@ -329,10 +329,9 @@ func (e *LaunchErrors) Unwrap() []error {
 // machine, so the measurements are independent and bit-identical to a
 // serial run; only wall-clock time changes. workers <= 0 uses GOMAXPROCS.
 //
-// The generate-then-launch chaining that used to live here (Run /
-// RunParallel) moved up to the campaign engine: internal/campaign.Run is
-// the single end-to-end entry point, and the microtools facade's Run wraps
-// it.
+// The generate-then-launch chaining that used to live here moved up to
+// the campaign engine: internal/campaign.Run is the single end-to-end
+// entry point, and the microtools facade's Run wraps it.
 func LaunchAll(ctx context.Context, progs []codegen.Program, launch launcher.Options, workers int) ([]*launcher.Measurement, error) {
 	return LaunchAllProgress(ctx, progs, launch, workers, nil)
 }

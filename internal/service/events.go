@@ -1,0 +1,72 @@
+package service
+
+import (
+	"sync"
+
+	api "microtools/api/v1"
+)
+
+// eventLog is one job's append-only SSE event history. Every event keeps
+// its strictly increasing sequence id (index+1), so a client reconnecting
+// with Last-Event-ID replays exactly the frames it missed and then tails
+// live appends — the same subscribe-before-replay discipline as the
+// telemetry /events stream, with the log itself standing in for the
+// subscription buffer (a log replay can never lose a racing append: the
+// append lands at a higher seq and the next wait observes it).
+type eventLog struct {
+	mu     sync.Mutex
+	events []api.VariantEvent
+	notify chan struct{} // closed and replaced on every append
+	done   bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{notify: make(chan struct{})}
+}
+
+// append records one event, stamping its sequence id, and wakes waiters.
+func (l *eventLog) append(kind string, status api.JobStatus) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	ev := api.VariantEvent{
+		SchemaVersion: api.SchemaVersion,
+		JobID:         status.ID,
+		Seq:           int64(len(l.events) + 1),
+		Type:          kind,
+		Status:        status,
+	}
+	l.events = append(l.events, ev)
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// close marks the log terminal: no more appends, and waiters drain what
+// remains and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// after returns the events with Seq > after, a channel that closes on the
+// next append, and whether the log is terminal. A streaming handler loops:
+// write the batch, and when the log is terminal stop; otherwise wait on
+// the channel (or the client's context) and call after again with the
+// last written seq.
+func (l *eventLog) after(after int64) ([]api.VariantEvent, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []api.VariantEvent
+	if after >= 0 && after < int64(len(l.events)) {
+		out = append(out, l.events[after:]...)
+	}
+	return out, l.notify, l.done
+}

@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	api "microtools/api/v1"
+	"microtools/internal/campaign"
+	"microtools/internal/launcher"
+	"microtools/serviceclient"
+)
+
+// sweepSpec generates four measurable variants (unroll 1..4), mirroring
+// the campaign package's test spec.
+const sweepSpec = `
+<kernel name="service_k">
+  <instruction>
+    <operation>movss</operation>
+    <memory><register><name>r1</name></register><offset>0</offset></memory>
+    <register><phyName>%xmm</phyName><min>0</min><max>4</max></register>
+  </instruction>
+  <unrolling><min>1</min><max>4</max></unrolling>
+  <induction><register><name>r1</name></register><increment>4</increment><offset>4</offset></induction>
+  <induction>
+    <register><name>r0</name></register>
+    <increment>-1</increment>
+    <linked><register><name>r1</name></register></linked>
+    <last_induction/>
+  </induction>
+  <induction><register><phyName>%eax</phyName></register><increment>1</increment><not_affected_unroll/></induction>
+  <branch_information><label>.L0</label><test>jge</test></branch_information>
+</kernel>`
+
+// wideSpec is sweepSpec with a 16-wide unroll range — enough work that a
+// drain lands mid-campaign.
+var wideSpec = strings.Replace(sweepSpec, "<max>4</max></unrolling>", "<max>16</max></unrolling>", 1)
+
+func quickLaunch() launcher.Options {
+	opts := launcher.DefaultOptions()
+	opts.MachineName = "nehalem-dual/8"
+	opts.ArrayBytes = 1 << 12
+	opts.InnerReps = 1
+	opts.OuterReps = 1
+	opts.MaxInstructions = 5_000
+	return opts
+}
+
+// startDaemon brings up a daemon on an ephemeral port and returns it with
+// a client pointed at it.
+func startDaemon(t *testing.T, opts Options) (*Daemon, *serviceclient.Client) {
+	t.Helper()
+	if opts.Launch.MachineName == "" {
+		opts.Launch = quickLaunch()
+	}
+	d, err := New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = d.CloseHTTP()
+		_ = d.Close()
+	})
+	return d, &serviceclient.Client{Base: "http://" + addr}
+}
+
+func submitWait(t *testing.T, c *serviceclient.Client, req api.JobRequest) api.JobResult {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	status, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res, err := c.WaitResult(ctx, status.ID)
+	if err != nil {
+		t.Fatalf("wait %s: %v", status.ID, err)
+	}
+	return res
+}
+
+// TestTwoTenantsBitIdenticalResults is the tentpole acceptance test: the
+// same spec from two tenants completes with byte-identical campaign
+// payloads, and the second submission performs zero launches.
+func TestTwoTenantsBitIdenticalResults(t *testing.T) {
+	_, client := startDaemon(t, Options{Cache: campaign.NewMemoryCache()})
+
+	cold := submitWait(t, client, api.JobRequest{Tenant: "team-a", Spec: sweepSpec})
+	warm := submitWait(t, client, api.JobRequest{Tenant: "team-b", Spec: sweepSpec})
+
+	if cold.Job.State != api.StateDone || warm.Job.State != api.StateDone {
+		t.Fatalf("states %s/%s, want done/done", cold.Job.State, warm.Job.State)
+	}
+	if cold.Serving.Launches != 4 || cold.Serving.CacheHits != 0 {
+		t.Errorf("cold run launches=%d hits=%d, want 4/0", cold.Serving.Launches, cold.Serving.CacheHits)
+	}
+	if warm.Serving.Launches != 0 || warm.Serving.CacheHits != 4 || warm.Serving.CacheHitRatio != 1 {
+		t.Errorf("warm run launches=%d hits=%d ratio=%v, want 0/4/1",
+			warm.Serving.Launches, warm.Serving.CacheHits, warm.Serving.CacheHitRatio)
+	}
+	a, err := json.Marshal(cold.Campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(warm.Campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("campaign payloads differ across tenants:\ncold: %s\nwarm: %s", a, b)
+	}
+	if len(cold.Campaign.Variants) != 4 || cold.Campaign.Variants[0].Value <= 0 {
+		t.Errorf("campaign payload incomplete: %s", a)
+	}
+}
+
+// TestSSEIdsStrictlyIncreaseAcrossReconnect drops the event stream
+// mid-job and reconnects with Last-Event-ID: the combined sequence must
+// be gapless and strictly increasing.
+func TestSSEIdsStrictlyIncreaseAcrossReconnect(t *testing.T) {
+	_, client := startDaemon(t, Options{Cache: campaign.NewMemoryCache()})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	status, err := client.Submit(ctx, api.JobRequest{Tenant: "team-a", Spec: sweepSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First connection: read until the stream has produced at least two
+	// events, then sever it by canceling the request context.
+	firstCtx, firstCancel := context.WithCancel(ctx)
+	var seqs []int64
+	errSevered := errors.New("severed")
+	err = client.Stream(firstCtx, status.ID, func(ev api.VariantEvent) error {
+		seqs = append(seqs, ev.Seq)
+		if len(seqs) >= 2 {
+			return errSevered
+		}
+		return nil
+	})
+	firstCancel()
+	if err != nil && !errors.Is(err, errSevered) {
+		t.Fatalf("first stream: %v", err)
+	}
+	if len(seqs) < 2 {
+		t.Fatalf("first stream saw %d events, want >= 2", len(seqs))
+	}
+
+	// Reconnect from the last seen id (a fresh client forgets nothing:
+	// resume state is carried by the protocol, not the client).
+	resume := &serviceclient.Client{Base: client.Base}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		client.Base+"/v1/jobs/"+status.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", seqs[len(seqs)-1]))
+	_ = resume // the raw request exercises the wire-level resume path
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Parse SSE frames by hand: every data line must continue the
+	// sequence with no repeats and no gaps.
+	var events []api.VariantEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev api.VariantEvent
+			if json.Unmarshal([]byte(data), &ev) == nil {
+				events = append(events, ev)
+			}
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("reconnect replayed no events")
+	}
+	all := append(append([]int64{}, seqs...), seqsOf(events)...)
+	for i := 1; i < len(all); i++ {
+		if all[i] != all[i-1]+1 {
+			t.Fatalf("event ids not gapless across reconnect: %v", all)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Type != api.EventEnd || last.Status.State != api.StateDone {
+		t.Errorf("stream did not close with a done end event: %+v", last)
+	}
+}
+
+func seqsOf(evs []api.VariantEvent) []int64 {
+	out := make([]int64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Seq
+	}
+	return out
+}
+
+// TestTenantQuota pins admission control: the tenant limit rejects with
+// over_quota (HTTP 429 via the handler) while other tenants stay
+// admissible, and slots free up when jobs finish.
+func TestTenantQuota(t *testing.T) {
+	d, client := startDaemon(t, Options{Cache: campaign.NewMemoryCache(), MaxJobsPerTenant: 1, MaxConcurrentJobs: 1})
+	// Hold every campaign until released, so admission state is
+	// deterministic regardless of engine speed.
+	release := make(chan struct{})
+	d.runFn = func(ctx context.Context, _ *job) (*campaign.Result, error) {
+		select {
+		case <-release:
+			return &campaign.Result{Emitted: 1}, nil
+		case <-ctx.Done():
+			return &campaign.Result{}, ctx.Err()
+		}
+	}
+
+	first, aerr := d.Submit(api.JobRequest{Tenant: "team-a", Spec: sweepSpec})
+	if aerr != nil {
+		t.Fatalf("first submit rejected: %v", aerr)
+	}
+	if _, aerr = d.Submit(api.JobRequest{Tenant: "team-a", Spec: sweepSpec}); aerr == nil || aerr.Code != api.CodeOverQuota {
+		t.Fatalf("second submit error %+v, want over_quota", aerr)
+	}
+	if _, aerr = d.Submit(api.JobRequest{Tenant: "team-b", Spec: sweepSpec}); aerr != nil {
+		t.Fatalf("other tenant rejected: %v", aerr)
+	}
+
+	// Over HTTP the same rejection must be a 429 with the wire error.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	_, err := client.Submit(ctx, api.JobRequest{Tenant: "team-b", Spec: sweepSpec})
+	var wire *api.Error
+	if !errors.As(err, &wire) || wire.Code != api.CodeOverQuota {
+		t.Fatalf("HTTP submit error %v, want wire over_quota", err)
+	}
+
+	// Draining the quota: once team-a's job finishes, the slot frees.
+	close(release)
+	if _, err := client.WaitResult(ctx, first.ID); err != nil {
+		t.Fatalf("wait first: %v", err)
+	}
+	if _, aerr = d.Submit(api.JobRequest{Tenant: "team-a", Spec: sweepSpec}); aerr != nil {
+		t.Fatalf("slot did not free after completion: %v", aerr)
+	}
+}
+
+// TestBadRequests pins the bad_request admission failures.
+func TestBadRequests(t *testing.T) {
+	d, _ := startDaemon(t, Options{Cache: campaign.NewMemoryCache()})
+	if _, aerr := d.Submit(api.JobRequest{Tenant: "t", Spec: "  "}); aerr == nil || aerr.Code != api.CodeBadRequest {
+		t.Errorf("empty spec: %+v, want bad_request", aerr)
+	}
+	if _, aerr := d.Submit(api.JobRequest{SchemaVersion: "v9", Tenant: "t", Spec: "<x/>"}); aerr == nil || aerr.Code != api.CodeBadRequest {
+		t.Errorf("wrong schema version: %+v, want bad_request", aerr)
+	}
+	// A spec that fails generation runs and fails with bad_request in the
+	// job error (the spec is the client's fault, not the server's).
+	status, aerr := d.Submit(api.JobRequest{Tenant: "t", Spec: "<notes/>"})
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	client := &serviceclient.Client{Base: "http://" + d.Addr()}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := client.Wait(ctx, status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateFailed || final.Error == nil || final.Error.Code != api.CodeBadRequest {
+		t.Errorf("generation failure surfaced as %+v, want failed/bad_request", final)
+	}
+}
+
+// TestDrainRejectsQueuedAndInterruptsRunning exercises the SIGTERM
+// protocol live: with one worker, a heavy running job is interrupted
+// (checkpointed, no terminal ledger record) and the queued job behind it
+// is rejected (terminal, ledgered). A fresh daemon over the same store
+// and cache resumes the interrupted job and completes it cache-warm.
+func TestDrainRejectsQueuedAndInterruptsRunning(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "jobs.jsonl")
+	cachePath := filepath.Join(dir, "cache.jsonl")
+	cache, err := campaign.OpenCache(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy repetitions make each variant take tens of milliseconds, so
+	// the drain reliably lands mid-campaign; the restarted daemon must
+	// use the same options or the cache keys would not match.
+	launch := quickLaunch()
+	launch.OuterReps = 600
+	d, client := startDaemon(t, Options{Cache: cache, StorePath: storePath, MaxConcurrentJobs: 1, Launch: launch})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	running, err := client.Submit(ctx, api.JobRequest{Tenant: "team-a", Spec: wideSpec, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := client.Submit(ctx, api.JobRequest{Tenant: "team-b", Spec: sweepSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the first job has completed (and cached) at least one
+	// variant: the first progress event marks the checkpoint.
+	started := errors.New("started")
+	err = client.Stream(ctx, running.ID, func(ev api.VariantEvent) error {
+		if ev.Type == api.EventProgress && ev.Status.Progress.Done >= 1 {
+			return started
+		}
+		return nil
+	})
+	if !errors.Is(err, started) {
+		t.Fatalf("stream before drain: %v", err)
+	}
+
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	runStatus, _ := d.Job(running.ID)
+	queuedStatus, _ := d.Job(queued.ID)
+	if queuedStatus.State != api.StateRejected {
+		t.Errorf("queued job state %s, want rejected", queuedStatus.State)
+	}
+	if runStatus.State != api.StateInterrupted {
+		t.Fatalf("running job state %s, want interrupted (drain landed too late?)", runStatus.State)
+	}
+	if _, aerr := d.Submit(api.JobRequest{Tenant: "team-c", Spec: sweepSpec}); aerr == nil || aerr.Code != api.CodeDraining {
+		t.Errorf("post-drain submit %+v, want draining", aerr)
+	}
+	_ = d.CloseHTTP()
+	_ = d.Close()
+
+	// Restart over the same ledger and cache: the interrupted job is
+	// re-enqueued and completes; already-measured variants come from the
+	// cache checkpoint.
+	d2, client2 := startDaemon(t, Options{Cache: cache, StorePath: storePath, MaxConcurrentJobs: 1, Launch: launch})
+	res, err := client2.WaitResult(ctx, running.ID)
+	if err != nil {
+		t.Fatalf("resumed job: %v", err)
+	}
+	if res.Job.State != api.StateDone {
+		t.Fatalf("resumed job state %s, want done", res.Job.State)
+	}
+	if res.Serving.CacheHits == 0 {
+		t.Errorf("resume used no cache checkpoint: %+v", res.Serving)
+	}
+	if res.Job.ID != running.ID {
+		t.Errorf("resumed job id %s, want %s", res.Job.ID, running.ID)
+	}
+	// The rejected job stays rejected across the restart.
+	rejStatus, ok := d2.Job(queued.ID)
+	if !ok || rejStatus.State != api.StateRejected {
+		t.Errorf("rejected job after restart: %+v (ok=%v), want rejected", rejStatus, ok)
+	}
+}
+
+// TestStoreCorruptLineDegradesToMiss pins the ledger's durability
+// contract: a corrupt line is skipped, the records around it survive.
+func TestStoreCorruptLineDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.jsonl")
+	good := storeRecord{Kind: "submit", Job: api.JobStatus{SchemaVersion: api.SchemaVersion, ID: "j-3", Tenant: "t", State: api.StateQueued},
+		Request: &api.JobRequest{Spec: "<kernel/>"}}
+	line, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := "{\"kind\":\"submit\",\"job\":{\"id\":\n" + string(line) + "\n{not json}\n"
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	finished, pending, corrupt, err := replayStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 2 {
+		t.Errorf("corrupt=%d, want 2", corrupt)
+	}
+	if len(finished) != 0 || len(pending) != 1 || pending[0].Job.ID != "j-3" {
+		t.Errorf("replay finished=%v pending=%v, want the one good submit", finished, pending)
+	}
+}
+
+// TestMetricsExposition asserts the service counters reach /metrics under
+// their Prometheus names.
+func TestMetricsExposition(t *testing.T) {
+	_, client := startDaemon(t, Options{Cache: campaign.NewMemoryCache()})
+	submitWait(t, client, api.JobRequest{Tenant: "team-a", Spec: sweepSpec})
+	resp, err := http.Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"microtools_service_jobs_total 1",
+		"microtools_service_jobs_completed 1",
+		"microtools_service_jobs_running 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}

@@ -160,6 +160,13 @@ type Timer struct {
 	start time.Time
 }
 
+// Now is the sanctioned wall-clock read for packages outside the
+// telemetry/obs boundary (repo rule L001 confines time.Now to those two
+// packages). Long-running components that need real timestamps — the
+// service daemon stamping job submission and completion times — route
+// their clock reads through here so the boundary stays auditable.
+func Now() time.Time { return time.Now() }
+
 // Start begins timing an operation against the histogram.
 func (h *Histogram) Start() Timer {
 	if h == nil {

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -162,7 +163,7 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 	ch, cancel := s.opts.Tracker.Subscribe(256)
 	defer cancel()
 	for _, snap := range s.opts.Tracker.Snapshots() {
-		if err := writeSSE(w, "snapshot", 0, snap); err != nil {
+		if err := WriteSSE(w, "snapshot", 0, snap); err != nil {
 			return
 		}
 	}
@@ -175,7 +176,7 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if err := writeSSE(w, ev.Type, ev.Seq, ev.Campaign); err != nil {
+			if err := WriteSSE(w, ev.Type, ev.Seq, ev.Campaign); err != nil {
 				return
 			}
 			fl.Flush()
@@ -183,8 +184,13 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE frames one event in the text/event-stream format.
-func writeSSE(w http.ResponseWriter, kind string, seq int64, payload any) error {
+// WriteSSE frames one event in the text/event-stream format: an optional
+// numeric id line (seq > 0), the event name, and the JSON-encoded payload
+// as the data line. It is the single SSE framing implementation shared by
+// the telemetry /events stream and the service job-event streams, so
+// every stream in the system reconnects with the same Last-Event-ID
+// semantics.
+func WriteSSE(w io.Writer, kind string, seq int64, payload any) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return err

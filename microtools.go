@@ -105,6 +105,9 @@ type (
 	// CampaignOptions configures RunCampaign (workers, buffering, fail-fast,
 	// cache, progress callback, tracing).
 	CampaignOptions = campaign.Options
+	// CampaignOption is one functional setter for NewCampaignOptions; see
+	// the WithCampaign* family below.
+	CampaignOption = campaign.Option
 	// CampaignResult is a campaign's per-variant results plus aggregate
 	// counts (emitted, launches, cache hits, failures).
 	CampaignResult = campaign.Result
@@ -125,6 +128,11 @@ type (
 	// naming each failed variant (Unwrap exposes the *VariantError
 	// records, so errors.Is/As see through the aggregation).
 	CampaignError = campaign.Error
+	// CampaignSetupError reports a campaign that never measured anything:
+	// the description failed to open or to generate. errors.As recovers
+	// the stage ("open", "generate") and, for file campaigns, the path;
+	// Unwrap exposes the cause.
+	CampaignSetupError = campaign.SetupError
 	// VariantError records one variant's launch failure (index, kernel
 	// name, cause) inside a campaign.
 	VariantError = core.VariantError
@@ -189,6 +197,11 @@ var (
 	ErrFaultTransient = faults.ErrTransient
 	ErrFaultPermanent = faults.ErrPermanent
 )
+
+// ErrNoVariants is returned by Run / RunCampaign when the description
+// parsed and generated cleanly but produced zero variants — usually a
+// filter or custom pass dropping every kernel. Match with errors.Is.
+var ErrNoVariants = campaign.ErrNoVariants
 
 // NewFaultInjector returns a deterministic fault injector: whether a given
 // (point, key) site faults is a pure function of the seed, so the injected
@@ -267,26 +280,17 @@ func Launch(ctx context.Context, prog *Kernel, opts LaunchOptions) (*Measurement
 // Run chains the tools end to end: generate every variant, launch each,
 // and return the successful measurements in generation order. It is a thin
 // wrapper over RunCampaign with default options — every campaign feature
-// (workers, caching, retry/deadline budgets, fault injection) is reachable
-// by calling RunCampaign directly.
+// (an explicit worker count, caching, retry/deadline budgets, fault
+// injection) is reachable by calling RunCampaign directly. Run already
+// fans launches out over GOMAXPROCS workers, and results are bit-identical
+// to a serial run because every variant executes on its own simulated
+// machine.
 //
 // Failed variants are isolated, not fatal: the partial measurement set is
 // returned together with a *CampaignError aggregating every failure
 // (errors.As recovers the per-variant *VariantError records).
 func Run(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions) ([]*Measurement, error) {
 	res, err := campaign.Run(ctx, xml, gen, campaign.Options{Launch: launch})
-	return res.Measurements(), err
-}
-
-// RunParallel is Run with an explicit worker count.
-//
-// Deprecated: the worker pool folded into the campaign engine — use
-// RunCampaign with CampaignOptions{Launch: launch, Workers: workers}
-// (or plain Run, which already fans out over GOMAXPROCS workers; results
-// are bit-identical to a serial run either way, because every variant runs
-// on its own simulated machine). RunParallel delegates to RunCampaign.
-func RunParallel(ctx context.Context, xml io.Reader, gen GenerateOptions, launch LaunchOptions, workers int) ([]*Measurement, error) {
-	res, err := campaign.Run(ctx, xml, gen, campaign.Options{Launch: launch, Workers: workers})
 	return res.Measurements(), err
 }
 
@@ -359,6 +363,47 @@ var (
 	WithCounters  = launcher.WithCounters
 	// Resilience.
 	WithFaults = launcher.WithFaults
+)
+
+// NewCampaignOptions builds a CampaignOptions from the zero value (the
+// campaign default: GOMAXPROCS workers, 2×workers buffering, no cache,
+// single attempt per variant) with the given setters applied, in order —
+// the constructor form of a CampaignOptions literal, mirroring
+// NewLaunchOptions:
+//
+//	opts := microtools.NewCampaignOptions(
+//		microtools.WithCampaignLaunch(launch),
+//		microtools.WithCampaignCache(cache),
+//	)
+//
+// Nil setters are skipped, so options can be assembled conditionally. The
+// CampaignOptions struct stays exported; both styles remain supported.
+func NewCampaignOptions(setters ...CampaignOption) CampaignOptions {
+	return campaign.NewOptions(setters...)
+}
+
+// Functional setters for NewCampaignOptions, re-exported from the campaign
+// engine under a Campaign prefix (the unprefixed With* names belong to the
+// launcher option family above). Setters whose argument types are not
+// constructible through the facade (live-telemetry handles, PMU counter
+// sets) are reachable via the CampaignOptions struct fields instead.
+var (
+	// Execution.
+	WithCampaignLaunch   = campaign.WithLaunch
+	WithCampaignWorkers  = campaign.WithWorkers
+	WithCampaignBuffer   = campaign.WithBuffer
+	WithCampaignFailFast = campaign.WithFailFast
+	WithCampaignCache    = campaign.WithCache
+	WithCampaignProgress = campaign.WithProgress
+	WithCampaignTracer   = campaign.WithTracer
+	// Live telemetry.
+	WithCampaignName = campaign.WithName
+	// Resilience.
+	WithCampaignVariantDeadline = campaign.WithVariantDeadline
+	WithCampaignRetryPolicy     = campaign.WithRetryPolicy
+	WithCampaignQuarantine      = campaign.WithQuarantine
+	WithCampaignFaults          = campaign.WithFaults
+	WithCampaignCheckBounds     = campaign.WithCheckBounds
 )
 
 // WriteMeasurementsCSV renders measurements as the launcher's CSV output

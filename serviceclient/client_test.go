@@ -1,0 +1,107 @@
+package serviceclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	api "microtools/api/v1"
+	"microtools/internal/faults"
+)
+
+func TestSSEDecoder(t *testing.T) {
+	stream := "" +
+		": heartbeat\n" +
+		"id: 1\nevent: queued\ndata: {\"seq\":1}\n\n" +
+		"event: progress\ndata: part1\ndata: part2\n\n" +
+		"id: 3\nevent: end\ndata: {\"seq\":3}\n\n"
+	dec := newSSEDecoder(strings.NewReader(stream))
+
+	f1, err := dec.next()
+	if err != nil || f1.id != 1 || f1.event != "queued" || f1.data != `{"seq":1}` {
+		t.Fatalf("frame 1 = %+v, %v", f1, err)
+	}
+	f2, err := dec.next()
+	if err != nil || f2.id != 0 || f2.event != "progress" || f2.data != "part1\npart2" {
+		t.Fatalf("frame 2 = %+v, %v", f2, err)
+	}
+	f3, err := dec.next()
+	if err != nil || f3.id != 3 || f3.event != "end" {
+		t.Fatalf("frame 3 = %+v, %v", f3, err)
+	}
+	if _, err := dec.next(); err == nil {
+		t.Fatal("decoder did not report stream end")
+	}
+}
+
+// TestSubmitRetriesTransient pins the retry taxonomy: 429 and 503 are
+// transient (retried until the budget runs out), 400 is permanent (no
+// retry), and the wire error stays reachable via errors.As.
+func TestSubmitRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n < 3 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"schema_version":"v1","code":"over_quota","message":"busy"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"schema_version":"v1","id":"j-1","state":"queued"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Retries: 3, Backoff: 1}
+	status, err := c.Submit(context.Background(), api.JobRequest{Spec: "<kernel/>"})
+	if err != nil {
+		t.Fatalf("submit with retries: %v", err)
+	}
+	if status.ID != "j-1" || calls.Load() != 3 {
+		t.Fatalf("status=%+v calls=%d, want j-1 after 3 calls", status, calls.Load())
+	}
+}
+
+func TestSubmitDoesNotRetryPermanent(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"schema_version":"v1","code":"bad_request","message":"empty spec"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Retries: 5, Backoff: 1}
+	_, err := c.Submit(context.Background(), api.JobRequest{Spec: ""})
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err=%v calls=%d, want one non-retried failure", err, calls.Load())
+	}
+	if faults.IsTransient(err) {
+		t.Errorf("bad_request classified transient: %v", err)
+	}
+	var wire *api.Error
+	if !errors.As(err, &wire) || wire.Code != api.CodeBadRequest {
+		t.Errorf("wire error not reachable: %v", err)
+	}
+}
+
+func TestTransientWireErrorsStayTyped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"schema_version":"v1","code":"draining","message":"shutting down"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Backoff: 1}
+	_, err := c.Result(context.Background(), "j-9")
+	if !faults.IsTransient(err) {
+		t.Errorf("draining not transient: %v", err)
+	}
+	var wire *api.Error
+	if !errors.As(err, &wire) || wire.Code != api.CodeDraining {
+		t.Errorf("wire error not reachable through the transient wrap: %v", err)
+	}
+}

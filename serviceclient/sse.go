@@ -1,0 +1,65 @@
+package serviceclient
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// sseFrame is one decoded text/event-stream event.
+type sseFrame struct {
+	id    int64
+	event string
+	data  string
+}
+
+// sseDecoder reads the subset of the SSE wire format the service emits:
+// "id:", "event:", and "data:" lines, events separated by a blank line.
+// Comment lines (":") and unknown fields are ignored per the spec.
+type sseDecoder struct {
+	r *bufio.Reader
+}
+
+func newSSEDecoder(r io.Reader) *sseDecoder {
+	return &sseDecoder{r: bufio.NewReader(r)}
+}
+
+// next blocks until a full frame arrives or the stream errors (io.EOF on
+// a clean close).
+func (d *sseDecoder) next() (sseFrame, error) {
+	var frame sseFrame
+	seen := false
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			return sseFrame{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if seen {
+				return frame, nil
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			frame.id, _ = strconv.ParseInt(value, 10, 64)
+			seen = true
+		case "event":
+			frame.event = value
+			seen = true
+		case "data":
+			if frame.data != "" {
+				frame.data += "\n"
+			}
+			frame.data += value
+			seen = true
+		}
+	}
+}
