@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json bench-guard fuzz-smoke telemetry-smoke analyze-smoke serve-smoke
+.PHONY: ci build test vet lint fmt-check race bench bench-smoke bench-json bench-guard fuzz-smoke telemetry-smoke analyze-smoke serve-smoke adaptive-smoke
 
 # ci is the repository's verify command (see ROADMAP.md): formatting, vet,
 # the project-invariant linter, build, the full test suite under the race
 # detector, a single-iteration pass of the hot-path benchmarks so they
 # cannot rot between perf-focused PRs, the allocation guard on the campaign
 # sweep, a static analysis of every shipped spec, a live scrape of the
-# telemetry endpoints through the real CLI, and an end-to-end exercise of
-# the measurement service (submit, shared cache, metrics, drain).
-ci: fmt-check vet lint build race bench-smoke bench-guard analyze-smoke telemetry-smoke serve-smoke
+# telemetry endpoints through the real CLI, an end-to-end exercise of
+# the measurement service (submit, shared cache, metrics, drain), and a
+# fixed-vs-adaptive study comparison guarding the planner's savings and
+# ranking-preservation contract.
+ci: fmt-check vet lint build race bench-smoke bench-guard analyze-smoke telemetry-smoke serve-smoke adaptive-smoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +49,7 @@ bench:
 # tracks in BENCH_sim.json (see README): one repetition, the full launcher
 # protocol with telemetry off and on (the pair bounds instrumentation
 # overhead), and the campaign sweep serial plus across worker counts.
-HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkVariantMaterialize|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepWorkers|BenchmarkAnalyze|BenchmarkScreenStatic)$$
+HOT_BENCHES = ^(BenchmarkRunOne|BenchmarkVariantMaterialize|BenchmarkLauncherProtocol|BenchmarkLauncherProtocolTelemetry|BenchmarkCampaignSweep|BenchmarkCampaignSweepAdaptive|BenchmarkCampaignSweepWorkers|BenchmarkAnalyze|BenchmarkScreenStatic)$$
 
 # bench-smoke compiles and runs each hot-path benchmark exactly once — a CI
 # guard that they keep working, not a measurement.
@@ -89,6 +91,13 @@ telemetry-smoke:
 # the daemon with SIGTERM (scripts/serve_smoke.sh).
 serve-smoke:
 	GO='$(GO)' sh scripts/serve_smoke.sh
+
+# adaptive-smoke runs the same study twice through the real CLI — once with
+# the fixed repetition budget, once with -adaptive — and asserts the
+# planner's contract: at least 25% of repetitions saved, no variant missing
+# the RCIW target, and a byte-identical ranking (scripts/adaptive_smoke.sh).
+adaptive-smoke:
+	GO='$(GO)' sh scripts/adaptive_smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget — enough to catch a
 # regression in the parsers' error paths without stalling CI.

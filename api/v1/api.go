@@ -11,6 +11,11 @@
 // Breaking changes get a new package (api/v2) and a new URL prefix.
 package api
 
+import (
+	"encoding/json"
+	"math"
+)
+
 // SchemaVersion identifies this revision of the v1 wire contract. Servers
 // reject requests carrying a different non-empty version; clients treat a
 // different version in responses as "newer fields may be present".
@@ -82,6 +87,27 @@ type JobRequest struct {
 	Quarantine int `json:"quarantine,omitempty"`
 	// CheckBounds asserts the static-bound oracle on every measurement.
 	CheckBounds bool `json:"check_bounds,omitempty"`
+	// Adaptive, when non-nil, arms adaptive repetition planning: stable
+	// variants stop early and the saved budget tops up noisy ones.
+	Adaptive *AdaptivePlan `json:"adaptive,omitempty"`
+}
+
+// AdaptivePlan selects adaptive repetition planning for a job. Zero
+// fields take server defaults (min 2 reps, max = the fixed outer budget,
+// target RCIW 0.05, stable run length 1).
+type AdaptivePlan struct {
+	// MinReps is the repetition floor before the stop rule may fire
+	// (never below 2 — one repetition carries no stability signal).
+	MinReps int `json:"min_reps,omitempty"`
+	// MaxReps is the per-variant repetition ceiling (0 = the fixed
+	// outer-repetition budget).
+	MaxReps int `json:"max_reps,omitempty"`
+	// TargetRCIW is the relative 95% CI width at which mean/median runs
+	// stop (0 = server default 0.05).
+	TargetRCIW float64 `json:"target_rciw,omitempty"`
+	// StableRuns is the no-improvement run length at which min/max runs
+	// stop (0 = server default 1).
+	StableRuns int `json:"stable_runs,omitempty"`
 }
 
 // Job states reported in JobStatus.State.
@@ -171,12 +197,73 @@ type VariantEvent struct {
 
 // Stability summarizes a variant's measurement noise (mirrors the
 // repository's stability statistics: sample count, mean, coefficient of
-// variation, relative 95% CI half-width).
+// variation, relative 95% CI width with Student-t small-sample critical
+// values). A degenerate RCIW — fewer than two repetitions, or a zero
+// mean — is +Inf in Go and null on the wire (see MarshalJSON); it was
+// reported as 0 by servers predating the small-sample statistics fix.
 type Stability struct {
 	N    int     `json:"n"`
 	Mean float64 `json:"mean"`
 	CV   float64 `json:"cv"`
 	RCIW float64 `json:"rciw"`
+	// TargetRCIW echoes the adaptive plan's stop threshold (0 unless the
+	// job ran adaptively).
+	TargetRCIW float64 `json:"target_rciw,omitempty"`
+	// MissedTarget reports that RCIW still exceeded TargetRCIW after the
+	// adaptive top-up pass (absent unless the job ran adaptively).
+	MissedTarget bool `json:"missed_target,omitempty"`
+	// Reps is the realized adaptive repetition count (0 unless the job
+	// ran adaptively; equals N for fresh measurements).
+	Reps int `json:"reps,omitempty"`
+	// StopReason is the adaptive stop rule that ended the run ("target",
+	// "stable", "budget"; absent unless the job ran adaptively).
+	StopReason string `json:"stop_reason,omitempty"`
+}
+
+// stabilityWire is Stability's JSON shape: rciw rides a pointer so the
+// degenerate +Inf (rejected by encoding/json) crosses the wire as null
+// while finite values keep their exact historical encoding.
+type stabilityWire struct {
+	N            int      `json:"n"`
+	Mean         float64  `json:"mean"`
+	CV           float64  `json:"cv"`
+	RCIW         *float64 `json:"rciw"`
+	TargetRCIW   float64  `json:"target_rciw,omitempty"`
+	MissedTarget bool     `json:"missed_target,omitempty"`
+	Reps         int      `json:"reps,omitempty"`
+	StopReason   string   `json:"stop_reason,omitempty"`
+}
+
+// MarshalJSON encodes a non-finite RCIW as null; finite values encode
+// exactly as the plain struct always did.
+func (s Stability) MarshalJSON() ([]byte, error) {
+	w := stabilityWire{
+		N: s.N, Mean: s.Mean, CV: s.CV,
+		TargetRCIW: s.TargetRCIW, MissedTarget: s.MissedTarget,
+		Reps: s.Reps, StopReason: s.StopReason,
+	}
+	if !math.IsInf(s.RCIW, 0) && !math.IsNaN(s.RCIW) {
+		r := s.RCIW
+		w.RCIW = &r
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a null (or absent) rciw back to +Inf.
+func (s *Stability) UnmarshalJSON(b []byte) error {
+	var w stabilityWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.N, s.Mean, s.CV = w.N, w.Mean, w.CV
+	s.TargetRCIW, s.MissedTarget = w.TargetRCIW, w.MissedTarget
+	s.Reps, s.StopReason = w.Reps, w.StopReason
+	if w.RCIW != nil {
+		s.RCIW = *w.RCIW
+	} else {
+		s.RCIW = math.Inf(1)
+	}
+	return nil
 }
 
 // VariantResult is one measured variant inside CampaignResult. It is a
@@ -235,6 +322,14 @@ type ServingStats struct {
 	Retries     int `json:"retries"`
 	Quarantined int `json:"quarantined"`
 	KeyErrors   int `json:"key_errors"`
+	// RepsSaved, RepsTopUp and RepsExecuted mirror the campaign's
+	// adaptive-repetition accounting (absent unless the job ran
+	// adaptively): budget left unspent by early stops, repetitions
+	// granted back to noisy variants, and repetitions this run's real
+	// launches executed.
+	RepsSaved    int `json:"reps_saved,omitempty"`
+	RepsTopUp    int `json:"reps_topup,omitempty"`
+	RepsExecuted int `json:"reps_executed,omitempty"`
 }
 
 // JobResult is the GET /v1/jobs/{id} response: the job's lifecycle

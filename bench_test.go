@@ -781,6 +781,35 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSweepAdaptive is BenchmarkCampaignSweep with a real
+// 4-rep outer budget and the adaptive planner armed: same 510 variants,
+// every one stopping at the 2-rep floor, then a top-up pass re-launching
+// the variants whose collapsed interval still misses the target. Compare
+// against a fixed OuterReps=4 run to read the planner's wall-clock win.
+func BenchmarkCampaignSweepAdaptive(b *testing.B) {
+	spec := fig6Spec()
+	launch := DefaultLaunchOptions()
+	launch.MachineName = "nehalem-dual/8"
+	launch.ArrayBytes = 1 << 12
+	launch.InnerReps = 1
+	launch.OuterReps = 4
+	launch.MaxInstructions = 2_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunCampaign(context.Background(), strings.NewReader(spec), GenerateOptions{},
+			CampaignOptions{Launch: launch, Workers: 4, Adaptive: &AdaptivePlan{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Emitted != 510 {
+			b.Fatalf("sweep emitted %d variants, want 510", res.Emitted)
+		}
+		if res.RepsSaved == 0 {
+			b.Fatal("adaptive sweep saved no repetitions")
+		}
+	}
+}
+
 // BenchmarkCampaignSweepWorkers runs the same 510-variant cold sweep at
 // 1/2/4/8 workers — the parallel-scaling curve of the campaign engine. The
 // results are bit-identical across worker counts (every variant runs on its

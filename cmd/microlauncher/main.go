@@ -85,6 +85,7 @@ func main() {
 	report.Register(flag.CommandLine, "result encoding on stdout")
 	counters.Register(flag.CommandLine, "over the measured region (shown in the json report; csv prints them on stderr)")
 	camp.RegisterWorkers(flag.CommandLine, "measuring several functions")
+	camp.RegisterAdaptive(flag.CommandLine, "each measurement")
 	trace.Register(flag.CommandLine, "the launch protocol")
 	tele.Register(flag.CommandLine, "the launches")
 	flag.Parse()
@@ -268,6 +269,9 @@ func main() {
 		setters = append(setters, launcher.WithOMPDynamic(*ompChunk))
 	default:
 		fail(fmt.Errorf("unknown -omp-schedule %q (want static|dynamic)", *ompSched))
+	}
+	if p := camp.AdaptivePlan(); p != nil {
+		setters = append(setters, launcher.WithAdaptive(*p))
 	}
 	opts := launcher.NewOptions(setters...)
 

@@ -236,6 +236,7 @@ func runChaos(ctx context.Context, args []string) {
 	var camp cliutil.Campaign
 	camp.RegisterWorkers(fs, "the chaos campaign")
 	camp.RegisterResilience(fs)
+	camp.RegisterAdaptive(fs, "the chaos campaign")
 	var tele cliutil.Telemetry
 	tele.Register(fs, "both chaos runs")
 	fs.Usage = func() {
@@ -469,6 +470,7 @@ func runSubmit(ctx context.Context, args []string) {
 	report.Register(fs, "encoding for the table written with -csv")
 	camp.RegisterWorkers(fs, "the remote campaign")
 	camp.RegisterResilience(fs)
+	camp.RegisterAdaptive(fs, "the remote campaign")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: microtools submit [-addr URL] [-tenant NAME] [flags] spec.xml")
 		fs.PrintDefaults()
@@ -507,6 +509,14 @@ func runSubmit(ctx context.Context, args []string) {
 	}
 	if *quick {
 		req.OuterReps, req.InnerReps = 2, 1
+	}
+	if p := camp.AdaptivePlan(); p != nil {
+		req.Adaptive = &api.AdaptivePlan{
+			MinReps:    p.MinReps,
+			MaxReps:    p.MaxReps,
+			TargetRCIW: p.TargetRCIW,
+			StableRuns: p.StableRuns,
+		}
 	}
 
 	client := &serviceclient.Client{Base: *addr, Retries: *retries}
@@ -552,6 +562,10 @@ func runSubmit(ctx context.Context, args []string) {
 		s := res.Serving
 		fmt.Fprintf(os.Stderr, "microtools: submit: serving: %d launches, %d cache hits (ratio %.2f), %d failures, %d retries\n",
 			s.Launches, s.CacheHits, s.CacheHitRatio, s.Failures, s.Retries)
+		if camp.Adaptive {
+			fmt.Fprintf(os.Stderr, "microtools: submit: adaptive: %d reps executed, %d saved, %d topped up\n",
+				s.RepsExecuted, s.RepsSaved, s.RepsTopUp)
+		}
 	}
 
 	// Rebuild launcher measurements from the wire payload so the ranking
@@ -646,6 +660,7 @@ func main() {
 	counters.Register(flag.CommandLine, "for every -study measurement")
 	camp.Register(flag.CommandLine, "-study")
 	camp.RegisterResilience(flag.CommandLine)
+	camp.RegisterAdaptive(flag.CommandLine, "-study")
 	trace.Register(flag.CommandLine, "the -study campaign (generation + every launch)")
 	tele.Register(flag.CommandLine, "the run")
 	flag.Parse()
@@ -822,6 +837,10 @@ func main() {
 			if *vFlag && res != nil {
 				fmt.Fprintf(os.Stderr, "microtools: campaign: %d variants, %d launches, %d cache hits, %d failures, %d retries, %d quarantined, %d key errors\n",
 					res.Emitted, res.Launches, res.CacheHits, res.Failures, res.Retries, res.Quarantined, res.KeyErrors)
+				if camp.Adaptive {
+					fmt.Fprintf(os.Stderr, "microtools: adaptive: %d reps executed, %d saved, %d topped up, %d variants missed the RCIW target\n",
+						res.RepsExecuted, res.RepsSaved, res.RepsTopUp, res.TargetMisses)
+				}
 			}
 			ms = res.Measurements()
 		}

@@ -92,6 +92,15 @@ type launchFunc func(context.Context, *isa.Program, launcher.Options) (*launcher
 type Options struct {
 	// Launch is the measurement configuration applied to every variant.
 	Launch launcher.Options
+	// Adaptive, when non-nil, arms μOpTime-style adaptive repetition for
+	// every variant: the plan (resolved once against Launch.OuterReps) is
+	// threaded into the launcher's per-rep stop rule, and after the main
+	// pass the engine reallocates the saved repetition budget to variants
+	// whose achieved RCIW missed the plan's target — a bounded second
+	// "top-up" pass (see the adaptive accounting on Result). The resolved
+	// plan is a cache-key dimension; fixed-budget runs (nil) keep their
+	// exact pre-adaptive keys. See launcher.Plan.
+	Adaptive *launcher.Plan
 	// Workers sizes the launch pool (<= 0 means GOMAXPROCS). Every
 	// variant runs on its own simulated machine, so results are
 	// bit-identical to a serial run; only wall-clock time changes.
@@ -245,6 +254,24 @@ type Result struct {
 	// variants were measured but neither consulted nor populated the cache,
 	// so a warm re-run repeats their launches.
 	KeyErrors int
+
+	// --- adaptive accounting (zero unless Options.Adaptive) ---------------
+
+	// RepsSaved is the repetition budget the main pass left unspent:
+	// Σ max(0, plan.MaxReps − realized reps) over adaptive measurements.
+	// It is the pool the top-up pass reallocates from.
+	RepsSaved int
+	// RepsTopUp is the additional repetitions the top-up pass actually
+	// gained for variants whose RCIW missed the plan's target.
+	RepsTopUp int
+	// RepsExecuted counts the launcher repetitions completed by this
+	// run's real launches (cache hits execute none; a topped-up variant
+	// pays its re-run in full). Against Emitted × plan.MaxReps this is
+	// the fixed-vs-adaptive savings figure.
+	RepsExecuted int
+	// TargetMisses counts variants whose achieved RCIW still exceeds the
+	// plan's target after top-up (0 = every variant met target).
+	TargetMisses int
 }
 
 // Measurements returns the successful measurements in generation order
@@ -303,6 +330,19 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	if launch == nil {
 		launch = launcher.Launch
 	}
+	// Resolve the adaptive plan once against the fixed budget so every
+	// variant — and the cache key — sees the same effective plan. A plan
+	// set directly on the launch options (struct-literal callers) is
+	// promoted so the top-up pass covers it too.
+	var plan *launcher.Plan
+	if opts.Adaptive == nil {
+		opts.Adaptive = opts.Launch.Adaptive
+	}
+	if opts.Adaptive != nil {
+		p := opts.Adaptive.Resolve(opts.Launch.OuterReps)
+		plan = &p
+		opts.Launch.Adaptive = plan
+	}
 	if opts.Tracer != nil && opts.Launch.Tracer == nil {
 		opts.Launch.Tracer = opts.Tracer
 	}
@@ -358,17 +398,28 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	}
 	jobs := make(chan job, buffer)
 
+	// topupCand is one variant whose achieved RCIW missed the adaptive
+	// target in the main pass — a candidate for budget reallocation.
+	type topupCand struct {
+		index  int
+		name   string
+		kernel *isa.Program
+		reps   int
+	}
+
 	var (
-		mu          sync.Mutex
-		results     []VariantResult
-		emitted     int
-		generating  = true
-		hits        int
-		failed      int
-		launches    int
-		retries     int
-		quarantined int
-		keyErrors   int
+		mu           sync.Mutex
+		results      []VariantResult
+		emitted      int
+		generating   = true
+		hits         int
+		failed       int
+		launches     int
+		retries      int
+		quarantined  int
+		keyErrors    int
+		executedReps int
+		topups       []topupCand
 	)
 	report := func() {
 		if opts.Progress == nil {
@@ -476,7 +527,7 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	// attempt runs one launch try, consulting the worker-launch injection
 	// point first; an injected fault there models the worker dying before
 	// the launcher even starts.
-	attempt := func(ctx context.Context, name string, kernel *isa.Program) (*launcher.Measurement, error) {
+	attempt := func(ctx context.Context, name string, kernel *isa.Program, lopts launcher.Options) (*launcher.Measurement, error) {
 		if err := opts.Faults.Check(faults.PointCampaignLaunch, name); err != nil {
 			return nil, err
 		}
@@ -484,7 +535,58 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		mu.Lock()
 		launches++
 		mu.Unlock()
-		return launch(ctx, kernel, opts.Launch)
+		return launch(ctx, kernel, lopts)
+	}
+
+	// launchWithRetries is the full per-variant attempt loop — transient
+	// retries with deterministic backoff, quarantine — shared by the main
+	// pass and the adaptive top-up pass so both behave identically under
+	// fault injection. A cancellation error propagates for the caller to
+	// discard; every other error is final for this variant.
+	launchWithRetries := func(vctx context.Context, sp obs.Span, name string, kernel *isa.Program, lopts launcher.Options) (m *launcher.Measurement, attempts int, isQuarantined bool, err error) {
+		budget := opts.Retry.attempts()
+		for {
+			m, err = attempt(vctx, name, kernel, lopts)
+			attempts++
+			if err == nil {
+				mu.Lock()
+				executedReps += m.Summary.N
+				mu.Unlock()
+				return
+			}
+			if cctx.Err() != nil && errors.Is(err, cctx.Err()) {
+				return
+			}
+			if opts.Quarantine > 0 && attempts >= opts.Quarantine {
+				isQuarantined = true
+				opts.Counters.Inc("variant.quarantined")
+				sp.Int("quarantined_after", int64(attempts))
+				return
+			}
+			if attempts >= budget || vctx.Err() != nil || !faults.IsTransient(err) {
+				return
+			}
+			opts.Counters.Inc("campaign.retry")
+			mu.Lock()
+			retries++
+			mu.Unlock()
+			rsp := sp.Child("retry").
+				Int("attempt", int64(attempts)).
+				Str("error", err.Error())
+			opts.Retry.pause(vctx, name, attempts)
+			rsp.End()
+		}
+	}
+
+	// noteTopup remembers a successful adaptive variant whose achieved
+	// RCIW (including the +Inf "no confidence" sentinel) missed target.
+	noteTopup := func(index int, name string, kernel *isa.Program, m *launcher.Measurement) {
+		if plan == nil || m.Adaptive == nil || !(m.Adaptive.RCIW > plan.TargetRCIW) {
+			return
+		}
+		mu.Lock()
+		topups = append(topups, topupCand{index: index, name: name, kernel: kernel, reps: m.Adaptive.Reps})
+		mu.Unlock()
 	}
 
 	measure := func(j job) {
@@ -528,9 +630,10 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 					}
 					record(VariantResult{
 						Index: j.index, Name: j.prog.Name,
-						Measurement: m, CacheHit: true, Stability: stabilityFor(m),
+						Measurement: m, CacheHit: true, Stability: stabilityFor(m, opts.Counters),
 						StaticBound: unitBound,
 					})
+					noteTopup(j.index, j.prog.Name, kernel, m)
 					return
 				}
 				sp.Child("cache.miss").End()
@@ -564,41 +667,13 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 			defer vcancel()
 		}
 
-		budget := opts.Retry.attempts()
-		var m *launcher.Measurement
-		attempts := 0
-		isQuarantined := false
-		for {
-			m, err = attempt(vctx, j.prog.Name, kernel)
-			attempts++
-			if err == nil {
-				break
-			}
+		m, attempts, isQuarantined, err := launchWithRetries(vctx, sp, j.prog.Name, kernel, opts.Launch)
+		if err != nil {
 			// The campaign itself was canceled (user or fail-fast): the
 			// variant was not measured and records no fault of its own.
 			if cctx.Err() != nil && errors.Is(err, cctx.Err()) {
 				return
 			}
-			if opts.Quarantine > 0 && attempts >= opts.Quarantine {
-				isQuarantined = true
-				opts.Counters.Inc("variant.quarantined")
-				sp.Int("quarantined_after", int64(attempts))
-				break
-			}
-			if attempts >= budget || vctx.Err() != nil || !faults.IsTransient(err) {
-				break
-			}
-			opts.Counters.Inc("campaign.retry")
-			mu.Lock()
-			retries++
-			mu.Unlock()
-			rsp := sp.Child("retry").
-				Int("attempt", int64(attempts)).
-				Str("error", err.Error())
-			opts.Retry.pause(vctx, j.prog.Name, attempts)
-			rsp.End()
-		}
-		if err != nil {
 			sp.Str("error", err.Error())
 			record(VariantResult{
 				Index: j.index, Name: j.prog.Name,
@@ -632,9 +707,10 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		}
 		record(VariantResult{
 			Index: j.index, Name: j.prog.Name,
-			Measurement: m, Attempts: attempts, Stability: stabilityFor(m),
+			Measurement: m, Attempts: attempts, Stability: stabilityFor(m, opts.Counters),
 			StaticBound: unitBound,
 		})
+		noteTopup(j.index, j.prog.Name, kernel, m)
 	}
 
 	var poolWG sync.WaitGroup
@@ -655,16 +731,164 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 	producerWG.Wait()
 	queueDepth.Set(0)
 
+	// Adaptive top-up pass: the repetition budget the main pass saved is
+	// granted — split evenly, deterministically, in generation order — to
+	// the variants whose achieved RCIW missed target. Each top-up re-runs
+	// the variant under a derived plan (MinReps one past the prior stop,
+	// MaxReps = prior reps + grant) with its own cache key, so a warm
+	// adaptive re-run replays the whole two-pass schedule without a single
+	// launch. The base measurement stands if a top-up fails.
+	var repsSaved, repsTopup int
+	if plan != nil {
+		mu.Lock()
+		for i := range results {
+			if m := results[i].Measurement; m != nil && m.Adaptive != nil {
+				if d := plan.MaxReps - m.Adaptive.Reps; d > 0 {
+					repsSaved += d
+				}
+			}
+		}
+		cands := topups
+		pos := make(map[int]int, len(results))
+		for i := range results {
+			pos[results[i].Index] = i
+		}
+		mu.Unlock()
+		opts.Counters.Add("campaign.reps.saved", int64(repsSaved))
+		sort.Slice(cands, func(a, b int) bool { return cands[a].index < cands[b].index })
+		extra := 0
+		if len(cands) > 0 {
+			extra = repsSaved / len(cands)
+		}
+		if extra > 0 && cctx.Err() == nil {
+			topUp := func(c topupCand) {
+				sp := root.Child("topup").Str("kernel", c.name).Int("index", int64(c.index))
+				defer sp.End()
+				slot, ok := func() (int, bool) {
+					mu.Lock()
+					defer mu.Unlock()
+					i, ok := pos[c.index]
+					return i, ok
+				}()
+				if !ok {
+					return
+				}
+				tplan := *plan
+				tplan.MinReps = c.reps + 1
+				tplan.MaxReps = c.reps + extra
+				topts := opts.Launch
+				topts.Adaptive = &tplan
+				var key string
+				var m *launcher.Measurement
+				if opts.Cache != nil {
+					if k, kerr := Key(c.kernel, topts); kerr == nil {
+						key = k
+						if cm, ok := opts.Cache.Get(key); ok {
+							sp.Child("cache.hit").End()
+							opts.Counters.Inc("campaign.cache.hits")
+							m = cm
+						} else {
+							sp.Child("cache.miss").End()
+							opts.Counters.Inc("campaign.cache.misses")
+						}
+					} else {
+						opts.Counters.Inc("campaign.cache.key_errors")
+						mu.Lock()
+						keyErrors++
+						mu.Unlock()
+						sp.Str("cache_key_error", kerr.Error())
+					}
+				}
+				attempts := 0
+				if m == nil {
+					vctx := cctx
+					if opts.VariantDeadline > 0 {
+						var vcancel context.CancelFunc
+						vctx, vcancel = context.WithTimeout(cctx, opts.VariantDeadline)
+						defer vcancel()
+					}
+					var err error
+					m, attempts, _, err = launchWithRetries(vctx, sp, c.name, c.kernel, topts)
+					if err != nil {
+						// The extra confidence is forfeited, not the
+						// variant: its main-pass measurement stands.
+						opts.Counters.Inc("campaign.topup.failures")
+						sp.Str("error", err.Error())
+						return
+					}
+					mu.Lock()
+					m.StaticBound = results[slot].StaticBound
+					mu.Unlock()
+					if key != "" {
+						canon, perr := opts.Cache.Put(key, m)
+						if perr != nil {
+							opts.Counters.Inc("campaign.cache.put_errors")
+							sp.Str("cache_put_error", perr.Error())
+						}
+						if canon != nil {
+							m = canon
+						}
+					}
+				}
+				gained := 0
+				if m.Adaptive != nil && m.Adaptive.Reps > c.reps {
+					gained = m.Adaptive.Reps - c.reps
+				}
+				opts.Counters.Add("campaign.reps.topup", int64(gained))
+				sp.Int("reps_gained", int64(gained))
+				mu.Lock()
+				results[slot].Measurement = m
+				results[slot].Stability = stabilityFor(m, opts.Counters)
+				results[slot].Attempts += attempts
+				repsTopup += gained
+				mu.Unlock()
+			}
+			tjobs := make(chan topupCand, len(cands))
+			for _, c := range cands {
+				tjobs <- c
+			}
+			close(tjobs)
+			tw := workers
+			if tw > len(cands) {
+				tw = len(cands)
+			}
+			var topWG sync.WaitGroup
+			for w := 0; w < tw; w++ {
+				topWG.Add(1)
+				go func() {
+					defer topWG.Done()
+					for c := range tjobs {
+						if cctx.Err() != nil {
+							continue
+						}
+						topUp(c)
+					}
+				}()
+			}
+			topWG.Wait()
+		}
+	}
+
 	mu.Lock()
 	res := &Result{
-		Results:     results,
-		Emitted:     emitted,
-		Launches:    launches,
-		CacheHits:   hits,
-		Failures:    failed,
-		Retries:     retries,
-		Quarantined: quarantined,
-		KeyErrors:   keyErrors,
+		Results:      results,
+		Emitted:      emitted,
+		Launches:     launches,
+		CacheHits:    hits,
+		Failures:     failed,
+		Retries:      retries,
+		Quarantined:  quarantined,
+		KeyErrors:    keyErrors,
+		RepsSaved:    repsSaved,
+		RepsTopUp:    repsTopup,
+		RepsExecuted: executedReps,
+	}
+	if plan != nil {
+		for i := range results {
+			if m := results[i].Measurement; m != nil && m.Adaptive != nil && m.Adaptive.RCIW > plan.TargetRCIW {
+				res.TargetMisses++
+			}
+		}
 	}
 	gerr := genErr
 	mu.Unlock()
@@ -676,6 +900,12 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 		Int("retries", int64(res.Retries)).
 		Int("quarantined", int64(res.Quarantined)).
 		Int("key_errors", int64(res.KeyErrors))
+	if plan != nil {
+		root.Int("reps_saved", int64(res.RepsSaved)).
+			Int("reps_topup", int64(res.RepsTopUp)).
+			Int("reps_executed", int64(res.RepsExecuted)).
+			Int("target_misses", int64(res.TargetMisses))
+	}
 
 	// Close the live-tracked campaign on every exit path: one final
 	// progress update carrying the run's aggregate accounting, then the
@@ -713,13 +943,25 @@ func Run(ctx context.Context, xml io.Reader, gen core.GenerateOptions, opts Opti
 
 // stabilityFor returns a measurement's stored stability statistics,
 // backfilling them from the summary for cache entries written before the
-// launcher recorded the field (stats.StabilityOf reproduces the stored
-// values exactly).
-func stabilityFor(m *launcher.Measurement) stats.Stability {
+// launcher recorded the field. The backfill is versioned: entries that
+// predate the field also predate the small-sample statistics fix
+// (sample stddev, Student-t), so they are recomputed with BOTH formula
+// generations and the legacy values are preferred — the contract in force
+// when those entries were written — which keeps warm caches bit-stable
+// instead of silently flipping RCIWs under their consumers. Each backfill
+// is counted (campaign.stability.backfilled) so cache-age drift is
+// observable; when the two generations agree exactly, the shared value is
+// returned.
+func stabilityFor(m *launcher.Measurement, counters *obs.CounterSet) stats.Stability {
 	if m.Stability.N != 0 {
 		return m.Stability
 	}
-	return stats.StabilityOf(m.Summary)
+	counters.Inc("campaign.stability.backfilled")
+	legacy := stats.LegacyStabilityOf(m.Summary)
+	if current := stats.StabilityOf(m.Summary); current == legacy {
+		return current
+	}
+	return legacy
 }
 
 // RunFile is Run over an XML file on disk. Like Run, the returned Result

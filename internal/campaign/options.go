@@ -44,6 +44,22 @@ func NewOptions(setters ...Option) Options {
 // WithLaunch sets the measurement configuration applied to every variant.
 func WithLaunch(l launcher.Options) Option { return func(o *Options) { o.Launch = l } }
 
+// WithAdaptive arms μOpTime-style adaptive repetition with the given plan
+// (see launcher.Plan); the engine early-stops stable variants and tops up
+// the ones whose RCIW missed the plan's target from the saved budget.
+func WithAdaptive(p launcher.Plan) Option {
+	return func(o *Options) {
+		pp := p
+		o.Adaptive = &pp
+	}
+}
+
+// WithAdaptiveTarget arms adaptive repetition with the given RCIW stop
+// threshold and plan defaults for everything else.
+func WithAdaptiveTarget(rciw float64) Option {
+	return func(o *Options) { o.Adaptive = &launcher.Plan{TargetRCIW: rciw} }
+}
+
 // WithWorkers sizes the launch pool (<= 0 means GOMAXPROCS).
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 

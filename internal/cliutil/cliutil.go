@@ -117,6 +117,13 @@ type Campaign struct {
 	Quarantine int
 	// RetrySeed drives the deterministic backoff jitter.
 	RetrySeed int64
+	// Adaptive arms the μOpTime-style adaptive repetition planner; the
+	// remaining fields are the parsed plan knobs (see launcher.Plan).
+	Adaptive       bool
+	AdaptiveRCIW   float64
+	AdaptiveMin    int
+	AdaptiveMax    int
+	AdaptiveStable int
 }
 
 // Register installs -workers, -cache and -fail-fast on fs. what names the
@@ -134,6 +141,36 @@ func (c *Campaign) Register(fs *flag.FlagSet, what string) {
 func (c *Campaign) RegisterWorkers(fs *flag.FlagSet, what string) {
 	fs.IntVar(&c.Workers, "workers", 0,
 		"launch pool size for "+what+" (0 = GOMAXPROCS); results are bit-identical to a serial run")
+}
+
+// RegisterAdaptive installs the adaptive measurement-planner flags on fs.
+// what names the sweep in the help text (e.g. "-study").
+func (c *Campaign) RegisterAdaptive(fs *flag.FlagSet, what string) {
+	fs.BoolVar(&c.Adaptive, "adaptive", false,
+		"adaptively size the outer-rep budget per variant in "+what+": stop early once the statistic is stable, then top up unstable variants from the saved budget")
+	fs.Float64Var(&c.AdaptiveRCIW, "adaptive-rciw", 0.05,
+		"adaptive stop target: relative 95% confidence-interval width of the mean (mean/median statistics)")
+	fs.IntVar(&c.AdaptiveMin, "adaptive-min", 2,
+		"adaptive floor: never stop before this many outer reps (clamped to >= 2)")
+	fs.IntVar(&c.AdaptiveMax, "adaptive-max", 0,
+		"adaptive ceiling on outer reps per variant (0 = the fixed -outer budget)")
+	fs.IntVar(&c.AdaptiveStable, "adaptive-stable", 1,
+		"adaptive stop for min/max statistics: reps without improvement before the value counts as stable")
+}
+
+// AdaptivePlan returns the plan described by the adaptive flags, or nil
+// when -adaptive is unset (the fixed-budget protocol, byte-identical to
+// builds without the planner).
+func (c *Campaign) AdaptivePlan() *launcher.Plan {
+	if !c.Adaptive {
+		return nil
+	}
+	return &launcher.Plan{
+		MinReps:    c.AdaptiveMin,
+		MaxReps:    c.AdaptiveMax,
+		TargetRCIW: c.AdaptiveRCIW,
+		StableRuns: c.AdaptiveStable,
+	}
 }
 
 // RegisterResilience installs the retry/deadline/quarantine budget flags
@@ -174,6 +211,9 @@ func (c *Campaign) Options(extra ...campaign.Option) campaign.Options {
 			Backoff:     c.Backoff,
 			Seed:        c.RetrySeed,
 		}),
+	}
+	if p := c.AdaptivePlan(); p != nil {
+		setters = append(setters, campaign.WithAdaptive(*p))
 	}
 	return campaign.NewOptions(append(setters, extra...)...)
 }

@@ -1,0 +1,140 @@
+package launcher
+
+import (
+	"microtools/internal/stats"
+)
+
+// Stop reasons recorded on AdaptiveOutcome.StopReason.
+const (
+	// StopTarget: the running RCIW reached the plan's target (mean/median
+	// statistics).
+	StopTarget = "target"
+	// StopStable: the reported extremum stopped improving for the plan's
+	// run length (min/max statistics).
+	StopStable = "stable"
+	// StopBudget: the plan's repetition ceiling was exhausted without the
+	// stop rule firing.
+	StopBudget = "budget"
+)
+
+// Plan is the μOpTime-style adaptive measurement plan: instead of running
+// a fixed OuterReps budget, the launcher evaluates a statistic-aware stop
+// rule after every outer repetition and stops as soon as the reported
+// statistic has stabilized.
+//
+// The stop rule depends on Options.Statistic. Mean and median runs stop
+// once the running relative 95% confidence-interval width (Student-t,
+// sample stddev — see stats.Sequential) drops to TargetRCIW. Min and max
+// runs stop once the extremum has not improved for StableRuns consecutive
+// repetitions — an extremum has no useful CI, it only ratchets.
+//
+// Cache-key policy: the *planned* budget (this struct, after Resolve) is a
+// cache-key dimension; the realized repetition count never is. Fixed-budget
+// runs carry a nil plan and keep their exact pre-adaptive keys, and an
+// adaptive re-run with the same plan replays the same deterministic stop
+// decisions, so both cache populations stay warm and bit-stable.
+type Plan struct {
+	// MinReps is the floor before the stop rule may fire. Resolve clamps
+	// it to >= 2: a single repetition has CV = 0 and RCIW = +Inf by
+	// construction, so no planner may stop on that degenerate signal.
+	MinReps int
+	// MaxReps is the repetition ceiling (<= 0 inherits the fixed
+	// OuterReps budget, so an adaptive run never exceeds the fixed one).
+	MaxReps int
+	// TargetRCIW is the stop threshold for mean/median runs (<= 0
+	// defaults to 0.05, i.e. a ±2.5% interval around the mean).
+	TargetRCIW float64
+	// StableRuns is the no-improvement run length that stops min/max runs
+	// (<= 0 defaults to 1).
+	StableRuns int
+}
+
+// Resolve normalizes the plan against the fixed outer-repetition budget,
+// returning the effective plan the launcher executes and the keyer hashes.
+// It is pure: campaign workers share one Plan pointer, so normalization
+// must never mutate in place.
+func (p Plan) Resolve(outerReps int) Plan {
+	if p.MinReps < 2 {
+		p.MinReps = 2
+	}
+	if p.TargetRCIW <= 0 {
+		p.TargetRCIW = 0.05
+	}
+	if p.StableRuns <= 0 {
+		p.StableRuns = 1
+	}
+	if p.MaxReps <= 0 {
+		if outerReps > 0 {
+			p.MaxReps = outerReps
+		} else {
+			p.MaxReps = p.MinReps
+		}
+	}
+	if p.MaxReps < p.MinReps {
+		p.MaxReps = p.MinReps
+	}
+	return p
+}
+
+// AdaptiveOutcome records what the planner actually did for one
+// measurement: the resolved plan it ran under, the realized repetition
+// count, the achieved RCIW (from the final two-pass summary), and which
+// rule stopped the run. It is carried on the Measurement (and through the
+// cache) so campaign budget reallocation and API consumers can see
+// per-variant confidence without re-deriving it.
+type AdaptiveOutcome struct {
+	// Plan is the resolved plan in force (the cache-key dimension).
+	Plan Plan
+	// Reps is the realized outer-repetition count (== Summary.N).
+	Reps int
+	// RCIW is the achieved relative CI width at stop, computed from the
+	// final summary (Student-t, sample stddev). +Inf encodes "no
+	// confidence" and is JSON-null on the wire.
+	RCIW float64
+	// StopReason is one of StopTarget, StopStable, StopBudget.
+	StopReason string
+}
+
+// adaptiveState is the per-launch stop-rule evaluator.
+type adaptiveState struct {
+	plan      Plan
+	seq       stats.Sequential
+	statistic stats.Statistic
+	stableFor int
+}
+
+// observe folds one repetition's value in and reports the stop reason, or
+// "" to keep measuring.
+func (a *adaptiveState) observe(v float64) string {
+	first := a.seq.N() == 0
+	prevMin, prevMax := a.seq.Min(), a.seq.Max()
+	a.seq.Push(v)
+	switch a.statistic {
+	case stats.StatMin:
+		if first || v < prevMin {
+			a.stableFor = 0
+		} else {
+			a.stableFor++
+		}
+	case stats.StatMax:
+		if first || v > prevMax {
+			a.stableFor = 0
+		} else {
+			a.stableFor++
+		}
+	}
+	if a.seq.N() < a.plan.MinReps {
+		return ""
+	}
+	switch a.statistic {
+	case stats.StatMin, stats.StatMax:
+		if a.stableFor >= a.plan.StableRuns {
+			return StopStable
+		}
+	default:
+		if a.seq.RCIW() <= a.plan.TargetRCIW {
+			return StopTarget
+		}
+	}
+	return ""
+}

@@ -1,0 +1,204 @@
+package launcher
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"microtools/internal/stats"
+)
+
+func TestPlanResolveNormalization(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    Plan
+		outer int
+		want  Plan
+	}{
+		{"zero value inherits fixed budget",
+			Plan{}, 6, Plan{MinReps: 2, MaxReps: 6, TargetRCIW: 0.05, StableRuns: 1}},
+		{"MinReps clamped to two",
+			Plan{MinReps: 1, MaxReps: 8}, 4, Plan{MinReps: 2, MaxReps: 8, TargetRCIW: 0.05, StableRuns: 1}},
+		{"ceiling never below floor",
+			Plan{MinReps: 5, MaxReps: 3}, 4, Plan{MinReps: 5, MaxReps: 5, TargetRCIW: 0.05, StableRuns: 1}},
+		{"no outer budget falls back to the floor",
+			Plan{}, 0, Plan{MinReps: 2, MaxReps: 2, TargetRCIW: 0.05, StableRuns: 1}},
+		{"explicit knobs pass through",
+			Plan{MinReps: 3, MaxReps: 9, TargetRCIW: 0.01, StableRuns: 4}, 4,
+			Plan{MinReps: 3, MaxReps: 9, TargetRCIW: 0.01, StableRuns: 4}},
+	}
+	for _, c := range cases {
+		if got := c.in.Resolve(c.outer); got != c.want {
+			t.Errorf("%s: Resolve(%+v, %d) = %+v, want %+v", c.name, c.in, c.outer, got, c.want)
+		}
+	}
+	// Resolve is pure: the receiver is untouched (workers share a pointer).
+	p := Plan{MinReps: 1}
+	p.Resolve(4)
+	if p.MinReps != 1 {
+		t.Error("Resolve mutated its receiver")
+	}
+}
+
+func TestAdaptiveObserveStopRules(t *testing.T) {
+	// Mean statistic: identical observations collapse the interval to zero
+	// width; stops the moment the floor allows.
+	a := adaptiveState{plan: Plan{MinReps: 3, MaxReps: 8, TargetRCIW: 0.05, StableRuns: 1}, statistic: stats.StatMean}
+	for i, want := range []string{"", "", StopTarget} {
+		if got := a.observe(10); got != want {
+			t.Fatalf("mean rep %d: observe = %q, want %q", i+1, got, want)
+		}
+	}
+	// Min statistic: an improving minimum resets the run length; stop after
+	// StableRuns reps without improvement.
+	b := adaptiveState{plan: Plan{MinReps: 2, MaxReps: 8, TargetRCIW: 0.05, StableRuns: 2}, statistic: stats.StatMin}
+	steps := []struct {
+		v    float64
+		want string
+	}{
+		{10, ""}, {9, ""}, {9.5, ""}, {8, ""}, {8.2, ""}, {8.1, StopStable},
+	}
+	for i, s := range steps {
+		if got := b.observe(s.v); got != s.want {
+			t.Fatalf("min rep %d (v=%v): observe = %q, want %q", i+1, s.v, got, s.want)
+		}
+	}
+	// A wide-interval stream never stops on the target rule.
+	c := adaptiveState{plan: Plan{MinReps: 2, MaxReps: 8, TargetRCIW: 1e-12, StableRuns: 1}, statistic: stats.StatMean}
+	for i, v := range []float64{10, 20, 5, 40, 3} {
+		if got := c.observe(v); got != "" {
+			t.Fatalf("noisy rep %d: observe = %q, want keep measuring", i+1, got)
+		}
+	}
+}
+
+// TestAdaptiveEarlyStopDeterministicSim drives the full launch protocol:
+// with interrupts disabled the simulator repeats samples exactly, so the
+// planner stops at the floor and records the outcome.
+func TestAdaptiveEarlyStopDeterministicSim(t *testing.T) {
+	p := parse(t, kernelSrc(4, "movaps", 16), "k")
+	for _, c := range []struct {
+		stat   stats.Statistic
+		reason string
+	}{
+		{stats.StatMin, StopStable},
+		{stats.StatMean, StopTarget},
+	} {
+		opts := defaultTestOptions()
+		opts.OuterReps = 6
+		opts.Statistic = c.stat
+		opts.Adaptive = &Plan{}
+		m, err := Launch(context.Background(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Adaptive == nil {
+			t.Fatalf("%v: adaptive launch recorded no outcome", c.stat)
+		}
+		if m.Adaptive.Reps != 2 || m.Summary.N != 2 {
+			t.Errorf("%v: stopped after %d reps (summary n=%d), want the floor 2",
+				c.stat, m.Adaptive.Reps, m.Summary.N)
+		}
+		if m.Adaptive.StopReason != c.reason {
+			t.Errorf("%v: stop reason %q, want %q", c.stat, m.Adaptive.StopReason, c.reason)
+		}
+		if m.Adaptive.Plan != (Plan{MinReps: 2, MaxReps: 6, TargetRCIW: 0.05, StableRuns: 1}) {
+			t.Errorf("%v: outcome carries plan %+v, not the resolved one", c.stat, m.Adaptive.Plan)
+		}
+		if m.Adaptive.RCIW != m.Summary.RCIW() {
+			t.Errorf("%v: outcome RCIW %v != summary RCIW %v", c.stat, m.Adaptive.RCIW, m.Summary.RCIW())
+		}
+	}
+}
+
+// TestAdaptiveMatchesFixedValue pins the headline invariant: early
+// stopping changes the repetition count, never the min-statistic value the
+// deterministic simulator reports.
+func TestAdaptiveMatchesFixedValue(t *testing.T) {
+	p := parse(t, kernelSrc(4, "movaps", 16), "k")
+	fixed := defaultTestOptions()
+	fixed.OuterReps = 6
+	mf, err := Launch(context.Background(), p, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := fixed
+	adaptive.Adaptive = &Plan{}
+	ma, err := Launch(context.Background(), p, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Value != mf.Value {
+		t.Errorf("adaptive value %v != fixed value %v", ma.Value, mf.Value)
+	}
+	if mf.Adaptive != nil {
+		t.Error("fixed-budget launch grew an adaptive outcome")
+	}
+	if ma.Summary.N >= mf.Summary.N {
+		t.Errorf("adaptive ran %d reps, fixed %d: no savings", ma.Summary.N, mf.Summary.N)
+	}
+}
+
+// TestAdaptiveBudgetExhaustionUnderNoise arms an unreachable target under
+// simulated interrupt noise: the planner must run the full ceiling and say
+// so.
+func TestAdaptiveBudgetExhaustionUnderNoise(t *testing.T) {
+	p := parse(t, kernelSrc(4, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.OuterReps = 5
+	opts.Statistic = stats.StatMean
+	opts.DisableInterrupts = false
+	opts.NoiseSeed = 42
+	opts.Warmup = false
+	opts.Adaptive = &Plan{TargetRCIW: 1e-12}
+	m, err := Launch(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Adaptive == nil || m.Adaptive.StopReason != StopBudget {
+		t.Fatalf("outcome = %+v, want budget exhaustion", m.Adaptive)
+	}
+	if m.Adaptive.Reps != 5 || m.Summary.N != 5 {
+		t.Errorf("budget run did %d reps (summary n=%d), want the full 5", m.Adaptive.Reps, m.Summary.N)
+	}
+	if math.IsInf(m.Adaptive.RCIW, 0) || m.Adaptive.RCIW <= 0 {
+		t.Errorf("noisy RCIW = %v, want finite positive", m.Adaptive.RCIW)
+	}
+}
+
+// TestAdaptiveDeterministicRerun re-launches the same adaptive plan under
+// the same noise seed: the stop decision and every reported number must
+// replay exactly (the cache-warmness contract).
+func TestAdaptiveDeterministicRerun(t *testing.T) {
+	p := parse(t, kernelSrc(4, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.OuterReps = 6
+	opts.Statistic = stats.StatMean
+	opts.DisableInterrupts = false
+	opts.NoiseSeed = 7
+	opts.Adaptive = &Plan{TargetRCIW: 0.2}
+	a, err := Launch(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Launch(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Summary != b.Summary || *a.Adaptive != *b.Adaptive {
+		t.Errorf("adaptive rerun diverged:\n%+v %+v\nvs\n%+v %+v", a.Summary, a.Adaptive, b.Summary, b.Adaptive)
+	}
+}
+
+func TestAdaptiveValidateNegativeTarget(t *testing.T) {
+	p := parse(t, kernelSrc(1, "movaps", 16), "k")
+	opts := defaultTestOptions()
+	opts.Adaptive = &Plan{TargetRCIW: -0.5}
+	if _, err := Launch(context.Background(), p, opts); err == nil {
+		t.Error("negative adaptive RCIW target accepted")
+	}
+	// Validate never mutates the shared plan.
+	if opts.Adaptive.TargetRCIW != -0.5 {
+		t.Error("validation mutated the shared plan")
+	}
+}

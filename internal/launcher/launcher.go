@@ -59,6 +59,12 @@ type Measurement struct {
 	// MemStats snapshots the memory system counters over the measured
 	// portion.
 	MemStats memsim.Stats
+	// Adaptive records what the adaptive repetition planner did (nil
+	// unless Options.Adaptive armed it): the resolved plan, realized
+	// repetitions, achieved RCIW and stop reason. omitempty keeps the
+	// cache encoding of fixed-budget measurements byte-identical to
+	// builds that predate the field.
+	Adaptive *AdaptiveOutcome `json:",omitempty"`
 	// Counters is the simulated-PMU snapshot over the measured region
 	// (nil unless Options.CollectCounters).
 	Counters *obs.Counters
@@ -340,11 +346,22 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	// below, so warm-up and calibration traffic never pollute them (the
 	// simulated analogue of nanoBench's counter-read placement).
 	memBefore := mach.Sys.Stats()
+	// The adaptive plan (when armed) replaces the fixed budget with a
+	// [MinReps, MaxReps] window and a per-rep stop rule. Resolving here
+	// keeps the shared Options value untouched — campaign workers alias
+	// one Plan pointer across goroutines.
+	var adaptive *adaptiveState
+	maxReps := opts.OuterReps
+	if opts.Adaptive != nil {
+		plan := opts.Adaptive.Resolve(opts.OuterReps)
+		adaptive = &adaptiveState{plan: plan, statistic: opts.Statistic}
+		maxReps = plan.MaxReps
+	}
 	msp := root.Child("measure").
-		Int("outer_reps", int64(opts.OuterReps)).
+		Int("outer_reps", int64(maxReps)).
 		Int("inner_reps", int64(opts.InnerReps))
 	measStart := mach.Now()
-	samples := make([]float64, 0, opts.OuterReps)
+	samples := make([]float64, 0, maxReps)
 	var iterations uint64
 	var totalMix cpu.Mix
 	var totalInsts int64
@@ -359,7 +376,8 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	if repHist != nil && !tick.Started() {
 		tick.Reset() // calibration was off; base the lap chain here
 	}
-	for rep := 0; rep < opts.OuterReps; rep++ {
+	stopReason := ""
+	for rep := 0; rep < maxReps; rep++ {
 		if err := ctxErr(ctx); err != nil {
 			msp.Str("error", err.Error()).End()
 			return nil, err
@@ -501,8 +519,20 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 		samples = append(samples, value)
 		rsp.Float("value", value).Cycles(repStart, mach.Now()).End()
 		logf("rep %d: %.4f %s", rep, value, opts.TimeUnit)
+		if adaptive != nil {
+			if stopReason = adaptive.observe(value); stopReason != "" {
+				logf("adaptive stop after rep %d: %s", rep, stopReason)
+				break
+			}
+		}
 	}
 	mach.SetTraceSpan(obs.Span{})
+	if adaptive != nil {
+		if stopReason == "" {
+			stopReason = StopBudget
+		}
+		msp.Int("adaptive_reps", int64(len(samples))).Str("adaptive_stop", stopReason)
+	}
 	msp.Cycles(measStart, mach.Now()).End()
 	if repHist != nil {
 		// The whole repetition phase is one lap, recorded as one
@@ -516,6 +546,14 @@ func launchOn(ctx context.Context, mach *sim.Machine, prog *isa.Program, opts Op
 	meas.Summary = stats.Summarize(samples)
 	meas.Stability = stats.StabilityOf(meas.Summary)
 	meas.Value = opts.Statistic.Of(meas.Summary)
+	if adaptive != nil {
+		meas.Adaptive = &AdaptiveOutcome{
+			Plan:       adaptive.plan,
+			Reps:       len(samples),
+			RCIW:       meas.Stability.RCIW,
+			StopReason: stopReason,
+		}
+	}
 	meas.MemStats = mach.Sys.Stats().Sub(memBefore)
 	if opts.CollectCounters {
 		c := pipe

@@ -149,6 +149,15 @@ type Options struct {
 	// chunks instead of the default schedule(static).
 	OMPDynamic       bool
 	OMPChunkElements int64
+	// Adaptive, when non-nil, arms the μOpTime-style adaptive repetition
+	// plan: the outer-rep loop evaluates the plan's statistic-aware stop
+	// rule after every repetition and stops early once the statistic has
+	// stabilized, recording the outcome on Measurement.Adaptive. Nil (the
+	// default) keeps the fixed OuterReps protocol — and, via omitempty,
+	// keeps the cache key of fixed-budget runs byte-identical to builds
+	// that predate the field. See Plan for the stop rules and the
+	// cache-key policy (planned budget in, realized reps out).
+	Adaptive *Plan `json:",omitempty"`
 
 	// --- output ------------------------------------------------------------
 
@@ -385,6 +394,24 @@ func WithOMPDynamic(chunkElements int64) Option {
 	}
 }
 
+// WithAdaptive arms the adaptive repetition plan (see Plan). The plan is
+// copied, so the caller's value cannot alias the options.
+func WithAdaptive(p Plan) Option {
+	return func(o *Options) {
+		pp := p
+		o.Adaptive = &pp
+	}
+}
+
+// WithAdaptiveTarget arms adaptive repetition with the given RCIW stop
+// threshold and defaults for everything else — the one-knob form of
+// WithAdaptive.
+func WithAdaptiveTarget(rciw float64) Option {
+	return func(o *Options) {
+		o.Adaptive = &Plan{TargetRCIW: rciw}
+	}
+}
+
 // --- output ------------------------------------------------------------------
 
 // WithTimeUnit selects the reported unit.
@@ -450,6 +477,9 @@ func (o *Options) Validate() error {
 	}
 	if o.NBVectors < 0 {
 		return fmt.Errorf("launcher: negative nbvectors")
+	}
+	if o.Adaptive != nil && o.Adaptive.TargetRCIW < 0 {
+		return fmt.Errorf("launcher: negative adaptive RCIW target %g", o.Adaptive.TargetRCIW)
 	}
 	return nil
 }

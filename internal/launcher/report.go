@@ -66,8 +66,23 @@ type reportSummary struct {
 	Mean   jsonFloat `json:"mean"`
 	Max    jsonFloat `json:"max"`
 	StdDev jsonFloat `json:"stddev"`
-	CV     jsonFloat `json:"cv"`
-	RCIW   jsonFloat `json:"rciw"`
+	// SampleStdDev is the ÷(n−1) estimator RCIW is built on; StdDev stays
+	// the historical population (÷n) figure.
+	SampleStdDev jsonFloat `json:"sample_stddev"`
+	CV           jsonFloat `json:"cv"`
+	RCIW         jsonFloat `json:"rciw"`
+}
+
+// reportAdaptive is the adaptive-planner block of one report entry,
+// present only when the measurement ran under a Plan.
+type reportAdaptive struct {
+	MinReps      int       `json:"min_reps"`
+	MaxReps      int       `json:"max_reps"`
+	TargetRCIW   jsonFloat `json:"target_rciw"`
+	StableRuns   int       `json:"stable_runs"`
+	Reps         int       `json:"reps"`
+	AchievedRCIW jsonFloat `json:"achieved_rciw"`
+	StopReason   string    `json:"stop_reason"`
 }
 
 // reportDerived is the derived-metric block computed from a counter
@@ -109,6 +124,7 @@ type reportEntry struct {
 	StaticBound     jsonFloat       `json:"static_bound,omitempty"`
 	Truncated       bool            `json:"truncated"`
 	Arrays          []uint64        `json:"arrays,omitempty"`
+	Adaptive        *reportAdaptive `json:"adaptive,omitempty"`
 	Counters        *reportCounters `json:"counters,omitempty"`
 	Energy          *reportEnergy   `json:"energy,omitempty"`
 }
@@ -135,20 +151,33 @@ func WriteJSON(w io.Writer, ms []*Measurement) error {
 			Value:           jsonFloat(m.Value),
 			ValuePerElement: jsonFloat(m.ValuePerElement),
 			Summary: reportSummary{
-				N:      m.Summary.N,
-				Min:    jsonFloat(m.Summary.Min),
-				Median: jsonFloat(m.Summary.Median),
-				Mean:   jsonFloat(m.Summary.Mean),
-				Max:    jsonFloat(m.Summary.Max),
-				StdDev: jsonFloat(m.Summary.StdDev),
-				CV:     jsonFloat(m.Summary.CV()),
-				RCIW:   jsonFloat(m.Summary.RCIW()),
+				N:            m.Summary.N,
+				Min:          jsonFloat(m.Summary.Min),
+				Median:       jsonFloat(m.Summary.Median),
+				Mean:         jsonFloat(m.Summary.Mean),
+				Max:          jsonFloat(m.Summary.Max),
+				StdDev:       jsonFloat(m.Summary.StdDev),
+				SampleStdDev: jsonFloat(m.Summary.SampleStdDev),
+				CV:           jsonFloat(m.Summary.CV()),
+				RCIW:         jsonFloat(m.Summary.RCIW()),
 			},
 			Iterations:     m.Iterations,
 			OverheadCycles: jsonFloat(m.OverheadCycles),
 			StaticBound:    jsonFloat(m.StaticBound),
 			Truncated:      m.Truncated,
 			Arrays:         m.Arrays,
+		}
+		if m.Adaptive != nil {
+			a := m.Adaptive
+			e.Adaptive = &reportAdaptive{
+				MinReps:      a.Plan.MinReps,
+				MaxReps:      a.Plan.MaxReps,
+				TargetRCIW:   jsonFloat(a.Plan.TargetRCIW),
+				StableRuns:   a.Plan.StableRuns,
+				Reps:         a.Reps,
+				AchievedRCIW: jsonFloat(a.RCIW),
+				StopReason:   a.StopReason,
+			}
 		}
 		if m.Counters != nil {
 			c := m.Counters

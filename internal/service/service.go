@@ -458,6 +458,14 @@ func (d *Daemon) campaignOptions(j *job) campaign.Options {
 	if req.VariantDeadlineMS > 0 {
 		setters = append(setters, campaign.WithVariantDeadline(time.Duration(req.VariantDeadlineMS)*time.Millisecond))
 	}
+	if req.Adaptive != nil {
+		setters = append(setters, campaign.WithAdaptive(launcher.Plan{
+			MinReps:    req.Adaptive.MinReps,
+			MaxReps:    req.Adaptive.MaxReps,
+			TargetRCIW: req.Adaptive.TargetRCIW,
+			StableRuns: req.Adaptive.StableRuns,
+		}))
+	}
 	return campaign.NewOptions(setters...)
 }
 
@@ -505,12 +513,15 @@ func buildResult(res *campaign.Result, err error) api.JobResult {
 	out := api.JobResult{
 		SchemaVersion: api.SchemaVersion,
 		Serving: &api.ServingStats{
-			Launches:    res.Launches,
-			CacheHits:   res.CacheHits,
-			Failures:    res.Failures,
-			Retries:     res.Retries,
-			Quarantined: res.Quarantined,
-			KeyErrors:   res.KeyErrors,
+			Launches:     res.Launches,
+			CacheHits:    res.CacheHits,
+			Failures:     res.Failures,
+			Retries:      res.Retries,
+			Quarantined:  res.Quarantined,
+			KeyErrors:    res.KeyErrors,
+			RepsSaved:    res.RepsSaved,
+			RepsTopUp:    res.RepsTopUp,
+			RepsExecuted: res.RepsExecuted,
 		},
 		Campaign: &api.CampaignResult{Emitted: emitted, Variants: []api.VariantResult{}},
 	}
@@ -539,6 +550,12 @@ func buildResult(res *campaign.Result, err error) api.JobResult {
 			v.Unit = vr.Measurement.Unit.String()
 			v.ValuePerElement = vr.Measurement.ValuePerElement
 			v.Iterations = int64(vr.Measurement.Iterations)
+			if a := vr.Measurement.Adaptive; a != nil {
+				v.Stability.TargetRCIW = a.Plan.TargetRCIW
+				v.Stability.MissedTarget = a.RCIW > a.Plan.TargetRCIW
+				v.Stability.Reps = a.Reps
+				v.Stability.StopReason = a.StopReason
+			}
 		}
 		if vr.Err != nil {
 			v.Error = vr.Err.Error()

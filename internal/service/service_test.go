@@ -421,3 +421,58 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveJobSurfacesConfidence submits an adaptive job over the v1
+// contract: the per-variant stability block must carry the planner's
+// outcome (reps, stop reason, target) and the serving stats the budget
+// accounting — and a warm resubmission must replay it launch-free.
+func TestAdaptiveJobSurfacesConfidence(t *testing.T) {
+	_, client := startDaemon(t, Options{Cache: campaign.NewMemoryCache()})
+	req := api.JobRequest{
+		Tenant:    "team-a",
+		Spec:      sweepSpec,
+		OuterReps: 4,
+		Adaptive:  &api.AdaptivePlan{TargetRCIW: 0.05},
+	}
+	cold := submitWait(t, client, req)
+	if cold.Job.State != api.StateDone {
+		t.Fatalf("state %s: %v", cold.Job.State, cold.Job.Error)
+	}
+	// Deterministic sim, min statistic: every variant stops at the floor
+	// of 2 of 4 reps — half the budget saved, no misses.
+	if cold.Serving.RepsSaved != 8 || cold.Serving.RepsExecuted != 8 || cold.Serving.RepsTopUp != 0 {
+		t.Errorf("serving reps saved=%d executed=%d topup=%d, want 8/8/0",
+			cold.Serving.RepsSaved, cold.Serving.RepsExecuted, cold.Serving.RepsTopUp)
+	}
+	for _, v := range cold.Campaign.Variants {
+		st := v.Stability
+		if st.Reps != 2 || st.StopReason != "stable" {
+			t.Errorf("variant %s: reps=%d stop=%q, want 2/stable", v.Name, st.Reps, st.StopReason)
+		}
+		if st.TargetRCIW != 0.05 || st.MissedTarget {
+			t.Errorf("variant %s: target=%v missed=%v, want 0.05/false", v.Name, st.TargetRCIW, st.MissedTarget)
+		}
+		if st.N != 2 {
+			t.Errorf("variant %s: stability n=%d, want the realized 2", v.Name, st.N)
+		}
+	}
+
+	warm := submitWait(t, client, req)
+	if warm.Serving.Launches != 0 || warm.Serving.CacheHits != 4 {
+		t.Errorf("warm adaptive run launches=%d hits=%d, want 0/4", warm.Serving.Launches, warm.Serving.CacheHits)
+	}
+	a, _ := json.Marshal(cold.Campaign)
+	b, _ := json.Marshal(warm.Campaign)
+	if string(a) != string(b) {
+		t.Errorf("adaptive campaign payloads diverged across cache temperature:\ncold: %s\nwarm: %s", a, b)
+	}
+	// A fixed-budget job on the same spec keeps its own cache lane: the
+	// adaptive entries must not have claimed its keys.
+	fixed := submitWait(t, client, api.JobRequest{Tenant: "team-a", Spec: sweepSpec, OuterReps: 4})
+	if fixed.Serving.Launches != 4 {
+		t.Errorf("fixed-budget job launches=%d, want 4 (adaptive cache entries leaked)", fixed.Serving.Launches)
+	}
+	if fixed.Campaign.Variants[0].Stability.StopReason != "" {
+		t.Error("fixed-budget variant carries an adaptive stop reason")
+	}
+}

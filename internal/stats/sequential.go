@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// Sequential accumulates summary statistics one observation at a time
+// using Welford's algorithm — the per-repetition form the launcher's
+// adaptive planner consults after every outer repetition without
+// re-scanning the sample slice. It tracks the running mean, the sample
+// variance, and the extrema; the final reported Summary is still computed
+// by the two-pass Summarize over the full sample set (the authoritative
+// numbers), and the two agree to floating-point accumulation order.
+type Sequential struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Push folds one observation into the accumulator.
+func (q *Sequential) Push(v float64) {
+	q.n++
+	if q.n == 1 {
+		q.min, q.max = v, v
+	} else {
+		if v < q.min {
+			q.min = v
+		}
+		if v > q.max {
+			q.max = v
+		}
+	}
+	d := v - q.mean
+	q.mean += d / float64(q.n)
+	q.m2 += d * (v - q.mean)
+}
+
+// N returns the observation count.
+func (q *Sequential) N() int { return q.n }
+
+// Mean returns the running mean (0 before the first observation).
+func (q *Sequential) Mean() float64 { return q.mean }
+
+// Min returns the minimum observed so far (0 before the first
+// observation).
+func (q *Sequential) Min() float64 { return q.min }
+
+// Max returns the maximum observed so far (0 before the first
+// observation).
+func (q *Sequential) Max() float64 { return q.max }
+
+// SampleStdDev returns the sample standard deviation (÷(n−1)), 0 when
+// fewer than two observations exist — mirroring Summary.SampleStdDev.
+func (q *Sequential) SampleStdDev() float64 {
+	if q.n < 2 {
+		return 0
+	}
+	// Guard against a tiny negative m2 from cancellation on
+	// near-constant streams.
+	if q.m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(q.m2 / float64(q.n-1))
+}
+
+// RCIW returns the relative 95% Student-t confidence-interval width of
+// the running mean, with the same degenerate semantics as Summary.RCIW:
+// +Inf for n < 2 or a zero mean.
+func (q *Sequential) RCIW() float64 {
+	if q.n < 2 || q.mean == 0 {
+		return math.Inf(1)
+	}
+	half := TCrit95(q.n-1) * q.SampleStdDev() / math.Sqrt(float64(q.n))
+	return 2 * half / math.Abs(q.mean)
+}

@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -22,7 +23,14 @@ type Summary struct {
 	Max    float64
 	Mean   float64
 	Median float64
+	// StdDev is the population standard deviation (÷n), the historical
+	// CSV/report-facing dispersion figure (CV derives from it).
 	StdDev float64
+	// SampleStdDev is the sample standard deviation (÷(n−1)), the
+	// estimator confidence-interval math requires: RCIW plugs it into the
+	// Student-t interval. Zero when n < 2 (the estimator is undefined;
+	// RCIW reports the degenerate case explicitly instead).
+	SampleStdDev float64
 }
 
 // Summarize computes a Summary over samples. It panics on an empty input:
@@ -49,6 +57,9 @@ func Summarize(samples []float64) Summary {
 		sq += d * d
 	}
 	s.StdDev = math.Sqrt(sq / float64(len(samples)))
+	if len(samples) > 1 {
+		s.SampleStdDev = math.Sqrt(sq / float64(len(samples)-1))
+	}
 	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
 	mid := len(sorted) / 2
@@ -69,17 +80,45 @@ func (s Summary) CV() float64 {
 	return s.StdDev / s.Mean
 }
 
+// tCrit95 holds the two-sided 95% Student-t critical values t(0.975, df)
+// for df = 1..29. Above df 29 the normal approximation is within 0.5% and
+// TCrit95 falls back to z = 1.96.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom: the tabulated quantile for df < 30, the normal
+// z = 1.96 beyond, and +Inf for df < 1 (no interval exists from a single
+// observation).
+func TCrit95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
 // RCIW returns the relative 95% confidence-interval width of the mean —
-// 2·1.96·(stddev/√n)/mean under the normal approximation — the stability
+// 2·t(0.975, n−1)·(s/√n)/|mean| with the sample stddev s — the stability
 // signal μOpTime's adaptive repetition budgeting keys on: a run whose
 // RCIW is still wide needs more repetitions, not a tighter statistic.
-// It returns 0 for a zero mean or an empty summary.
+//
+// Degenerate summaries return +Inf, the documented "no confidence"
+// sentinel: fewer than two repetitions admit no interval estimate, and a
+// zero mean admits no relative one. +Inf orders correctly against any
+// finite target (never "stable enough") and the JSON boundaries render it
+// null (jsonFloat in reports, the Stability codec in caches and the API).
 func (s Summary) RCIW() float64 {
-	if s.Mean == 0 || s.N == 0 {
-		return 0
+	if s.N < 2 || s.Mean == 0 {
+		return math.Inf(1)
 	}
-	half := 1.96 * s.StdDev / math.Sqrt(float64(s.N))
-	return 2 * half / s.Mean
+	half := TCrit95(s.N-1) * s.SampleStdDev / math.Sqrt(float64(s.N))
+	return 2 * half / math.Abs(s.Mean)
 }
 
 // Stability bundles the per-measurement stability statistics carried by
@@ -100,6 +139,61 @@ type Stability struct {
 // bit for bit.
 func StabilityOf(s Summary) Stability {
 	return Stability{N: s.N, Mean: s.Mean, CV: s.CV(), RCIW: s.RCIW()}
+}
+
+// LegacyStabilityOf derives the stability statistics with the pre-fix
+// formulas: population stddev, fixed z = 1.96 regardless of n, and 0 for a
+// zero mean or empty summary. It exists for one purpose — versioned
+// backfill of cache entries written before the launcher stored the
+// Stability field, whose readers historically saw exactly these values
+// (see campaign.stabilityFor). New measurements always use StabilityOf.
+func LegacyStabilityOf(s Summary) Stability {
+	st := Stability{N: s.N, Mean: s.Mean, CV: s.CV()}
+	if s.Mean != 0 && s.N != 0 {
+		half := 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+		st.RCIW = 2 * half / s.Mean
+	}
+	return st
+}
+
+// stabilityWire is Stability's JSON shape: RCIW rides a pointer so the
+// degenerate +Inf (which encoding/json rejects) round-trips as null while
+// finite values keep their exact historical encoding — cache entries and
+// API payloads written before the codec existed decode bit-identically.
+type stabilityWire struct {
+	N    int      `json:"n"`
+	Mean float64  `json:"mean"`
+	CV   float64  `json:"cv"`
+	RCIW *float64 `json:"rciw"`
+}
+
+// MarshalJSON encodes a non-finite RCIW as null; finite values encode
+// exactly as the plain struct always did.
+func (s Stability) MarshalJSON() ([]byte, error) {
+	w := stabilityWire{N: s.N, Mean: s.Mean, CV: s.CV}
+	if !math.IsInf(s.RCIW, 0) && !math.IsNaN(s.RCIW) {
+		r := s.RCIW
+		w.RCIW = &r
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes null (and a missing field) back to the +Inf
+// sentinel only when the summary is non-degenerate on its face; a wholly
+// absent Stability object never reaches this method, so pre-field cache
+// entries keep their zero value and the backfill path.
+func (s *Stability) UnmarshalJSON(b []byte) error {
+	var w stabilityWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.N, s.Mean, s.CV = w.N, w.Mean, w.CV
+	if w.RCIW != nil {
+		s.RCIW = *w.RCIW
+	} else {
+		s.RCIW = math.Inf(1)
+	}
+	return nil
 }
 
 // Spread returns (max-min)/min, the relative spread across repetitions.

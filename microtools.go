@@ -116,6 +116,13 @@ type (
 	// MeasurementCache is the content-addressed measurement store used for
 	// campaign checkpoint/resume.
 	MeasurementCache = campaign.Cache
+	// AdaptivePlan configures the μOpTime-style adaptive repetition planner
+	// (per-variant early stop plus campaign top-up); arm it with
+	// WithAdaptive / WithCampaignAdaptive.
+	AdaptivePlan = launcher.Plan
+	// AdaptiveOutcome records the realized plan of one adaptive measurement
+	// (reps run, achieved RCIW, stop reason) on Measurement.Adaptive.
+	AdaptiveOutcome = launcher.AdaptiveOutcome
 
 	// --- error taxonomy ---------------------------------------------------
 	//
@@ -354,6 +361,8 @@ var (
 	WithMaxInstructions  = launcher.WithMaxInstructions
 	WithOMPOverheadScale = launcher.WithOMPOverheadScale
 	WithOMPDynamic       = launcher.WithOMPDynamic
+	WithAdaptive         = launcher.WithAdaptive
+	WithAdaptiveTarget   = launcher.WithAdaptiveTarget
 	// Output / observability.
 	WithTimeUnit  = launcher.WithTimeUnit
 	WithEnergy    = launcher.WithEnergy
@@ -390,6 +399,7 @@ func NewCampaignOptions(setters ...CampaignOption) CampaignOptions {
 var (
 	// Execution.
 	WithCampaignLaunch   = campaign.WithLaunch
+	WithCampaignAdaptive = campaign.WithAdaptive
 	WithCampaignWorkers  = campaign.WithWorkers
 	WithCampaignBuffer   = campaign.WithBuffer
 	WithCampaignFailFast = campaign.WithFailFast

@@ -1,0 +1,63 @@
+#!/bin/sh
+# adaptive_smoke.sh — end-to-end check of the adaptive measurement planner.
+#
+# Runs the same study twice through the real CLI: once with the fixed
+# four-repetition budget, once with -adaptive. On the deterministic
+# simulator every repetition repeats exactly, so the planner must stop
+# each variant at the two-rep floor — at least 25% of the repetition
+# budget saved, zero variants missing the RCIW target — while the
+# ranking report on stdout stays byte-identical to the fixed run's.
+# Run from the repository root (make adaptive-smoke).
+set -eu
+
+GO="${GO:-go}"
+workdir="$(mktemp -d)"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+"$GO" build -o "$workdir/microtools" ./cmd/microtools
+
+# The arithmetic spec has no cache-warming drift across repetitions, so
+# the deterministic simulator repeats every sample exactly: the planner
+# must stop each variant at the two-rep floor with the interval collapsed.
+spec=specs/arith_hiding.xml
+"$workdir/microtools" -study "$spec" -size 4096 -v \
+    >"$workdir/fixed.out" 2>"$workdir/fixed.err"
+"$workdir/microtools" -study "$spec" -size 4096 -v -adaptive \
+    >"$workdir/adaptive.out" 2>"$workdir/adaptive.err"
+
+# The verbose accounting lines:
+#   microtools: campaign: N variants, ...
+#   microtools: adaptive: E reps executed, S saved, T topped up, M variants missed the RCIW target
+variants="$(sed -n 's/^microtools: campaign: \([0-9]*\) variants.*/\1/p' "$workdir/adaptive.err")"
+set -- $(sed -n 's/^microtools: adaptive: \([0-9]*\) reps executed, \([0-9]*\) saved, \([0-9]*\) topped up, \([0-9]*\) variants missed.*/\1 \2 \3 \4/p' "$workdir/adaptive.err")
+if [ -z "$variants" ] || [ "$#" -ne 4 ]; then
+    echo "adaptive-smoke: could not parse the adaptive accounting:" >&2
+    cat "$workdir/adaptive.err" >&2
+    exit 1
+fi
+executed=$1 saved=$2 topup=$3 misses=$4
+
+# Every variant must have met the RCIW target within its budget.
+if [ "$misses" -ne 0 ]; then
+    echo "adaptive-smoke: $misses variant(s) missed the RCIW target" >&2
+    exit 1
+fi
+
+# The planner must save at least a quarter of the fixed budget
+# (4 outer reps per variant): executed <= 75% of variants*4.
+budget=$((variants * 4))
+if [ $((executed * 4)) -gt $((budget * 3)) ]; then
+    echo "adaptive-smoke: only $((budget - executed)) of $budget reps saved ($executed executed, $saved saved, $topup topped up): want >= 25%" >&2
+    exit 1
+fi
+
+# Early stopping must not change the reported values: the per-element
+# ranking is byte-identical to the fixed-budget run's.
+if ! cmp -s "$workdir/fixed.out" "$workdir/adaptive.out"; then
+    echo "adaptive-smoke: adaptive run changed the ranking:" >&2
+    diff "$workdir/fixed.out" "$workdir/adaptive.out" >&2 || true
+    exit 1
+fi
+
+echo "adaptive-smoke: ok ($executed of $budget reps executed across $variants variants, $saved saved, $misses misses)"
